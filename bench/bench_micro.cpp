@@ -1,0 +1,87 @@
+// Experiment S1 — microbenchmarks (google-benchmark).
+//
+// Throughput of the library's kernels: construction, validation, DRC
+// checking, routing and protection simulation. Not a paper table; included
+// so performance regressions in the combinatorial core are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "ccov/covering/bounds.hpp"
+#include "ccov/covering/construct.hpp"
+#include "ccov/covering/drc.hpp"
+#include "ccov/covering/greedy.hpp"
+#include "ccov/protection/simulator.hpp"
+#include "ccov/wdm/network.hpp"
+
+using namespace ccov;
+
+static void BM_ConstructOdd(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(covering::construct_odd_cover(n));
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ConstructOdd)->Arg(21)->Arg(51)->Arg(101)->Arg(201)->Complexity();
+
+static void BM_ConstructEven(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(covering::construct_even_cover(n));
+}
+BENCHMARK(BM_ConstructEven)->Arg(20)->Arg(50)->Arg(100)->Arg(200);
+
+static void BM_ValidateCover(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto cover = covering::build_optimal_cover(n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(covering::validate_cover(cover));
+}
+BENCHMARK(BM_ValidateCover)->Arg(21)->Arg(51)->Arg(101);
+
+static void BM_DrcCheck(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const ring::Ring r(n);
+  const covering::Cycle c{0, static_cast<covering::Vertex>(n / 3),
+                          static_cast<covering::Vertex>(n / 2),
+                          static_cast<covering::Vertex>(2 * n / 3)};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(covering::satisfies_drc(r, c));
+}
+BENCHMARK(BM_DrcCheck)->Arg(16)->Arg(256)->Arg(4096);
+
+static void BM_DrcRoute(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const ring::Ring r(n);
+  const covering::Cycle c{0, static_cast<covering::Vertex>(n / 4),
+                          static_cast<covering::Vertex>(n / 2),
+                          static_cast<covering::Vertex>(3 * n / 4)};
+  for (auto _ : state) benchmark::DoNotOptimize(covering::drc_route(r, c));
+}
+BENCHMARK(BM_DrcRoute)->Arg(64)->Arg(1024);
+
+static void BM_GreedyCover(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(covering::greedy_cover(n));
+}
+BENCHMARK(BM_GreedyCover)->Arg(10)->Arg(20)->Arg(30);
+
+static void BM_LoopbackSimulation(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto inst = wdm::Instance::all_to_all(n);
+  const wdm::WdmRingNetwork net(n, covering::build_optimal_cover(n), inst);
+  std::uint32_t e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        protection::simulate_loopback(net, {e++ % n}));
+  }
+}
+BENCHMARK(BM_LoopbackSimulation)->Arg(15)->Arg(31)->Arg(63);
+
+static void BM_RhoFormula(benchmark::State& state) {
+  std::uint32_t n = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(covering::rho(n));
+    n = n == 1'000'000 ? 3 : n + 1;
+  }
+}
+BENCHMARK(BM_RhoFormula);

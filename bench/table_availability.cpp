@@ -1,0 +1,39 @@
+// Experiment P3 — availability: the survivability claim in steady state.
+//
+// Five-nines arithmetic for the paper's scheme: per-request availability
+// with loop-back protection vs the same routing unprotected, under
+// realistic fibre/switch MTBF/MTTR. The downtime-reduction column is the
+// quantitative version of "fast automatic protection in case of failure".
+
+#include <cmath>
+#include <iostream>
+
+#include "ccov/covering/construct.hpp"
+#include "ccov/protection/availability.hpp"
+#include "ccov/util/table.hpp"
+#include "ccov/wdm/network.hpp"
+
+int main() {
+  using namespace ccov;
+  using namespace ccov::protection;
+  const ComponentModel m;
+  ccov::util::Table t({"n", "requests", "mean avail (prot)",
+                       "worst avail (prot)", "mean avail (unprot)",
+                       "downtime cut", "nines (prot)"});
+  for (std::uint32_t n : {8u, 12u, 16u, 24u, 32u}) {
+    const wdm::WdmRingNetwork net(n, covering::build_optimal_cover(n),
+                                  wdm::Instance::all_to_all(n));
+    const auto rep = analyze_availability(net, m);
+    const double nines = -std::log10(1.0 - rep.mean_protected);
+    t.add(n, rep.requests, rep.mean_protected, rep.min_protected,
+          rep.mean_unprotected, rep.downtime_reduction, nines);
+  }
+  t.print(std::cout,
+          "Steady-state availability (link MTBF 50kh/MTTR 12h, node MTBF "
+          "100kh/MTTR 6h)");
+  std::cout << "\nShape check: loop-back protection removes the working-"
+               "path series terms from the downtime budget, leaving the "
+               "endpoint nodes dominant — an order-of-magnitude-plus "
+               "downtime cut that is flat in n.\n";
+  return 0;
+}

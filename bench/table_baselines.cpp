@@ -1,0 +1,44 @@
+// Experiment B2 — DRC-optimal vs baselines.
+//
+// Compares the paper's covering against: the greedy DRC covering, the
+// classical triangle covering C(n,3,2) (refs [6,7], no routing
+// constraint) and the C4 covering lower bound (ref [2]). Shape: the
+// DRC-optimal needs ~n^2/8 cycles, the classical triple covering ~n^2/6 —
+// mixing C3/C4 under the DRC *beats* triangle-only coverings by a factor
+// approaching 4/3, while pure-C4 coverings sit in between.
+
+#include <iostream>
+
+#include "ccov/baselines/c4_cover.hpp"
+#include "ccov/baselines/emz.hpp"
+#include "ccov/baselines/triple_cover.hpp"
+#include "ccov/covering/bounds.hpp"
+#include "ccov/covering/construct.hpp"
+#include "ccov/covering/greedy.hpp"
+#include "ccov/util/table.hpp"
+
+int main() {
+  using namespace ccov;
+  ccov::util::Table t({"n", "DRC optimal*", "DRC greedy", "C(n,3,2)",
+                       "triple greedy", "C4 cover LB", "C4 greedy",
+                       "EMZ obj (opt)", "EMZ obj (greedy)"});
+  for (std::uint32_t n = 5; n <= 29; n += 2) {
+    const auto opt = covering::build_optimal_cover(n);
+    const auto greedy = covering::greedy_cover(n);
+    t.add(n, opt.size(), greedy.size(),
+          baselines::triple_covering_number(n),
+          baselines::greedy_triple_cover(n).size(),
+          baselines::c4_covering_lower_bound(n),
+          baselines::greedy_c4_cover(n).size(),
+          baselines::emz_objective(opt), baselines::emz_objective(greedy));
+  }
+  t.print(std::cout,
+          "Covering K_n: DRC cycles vs classical triangle/C4 coverings");
+  std::cout << "\n(*) exact optimum for odd n and even n <= 12; valid "
+               "rho+floor((p-1)/2) construction otherwise.\n"
+            << "Shape check: DRC optimal ~ n^2/8 < C4 bound ~ n^2/8..n^2/7 "
+               "< C(n,3,2) ~ n^2/6; the DRC constraint costs nothing in "
+               "count vs unconstrained C4 coverings for odd n while also "
+               "being deployable on the ring.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Experiment P1 — survivability: loop-back protection vs alternatives.
+//
+// The paper's motivation: dividing the network into independently
+// protected sub-networks allows fast automatic protection (ref [9]),
+// an intermediate between dedicated protection and global restoration.
+// This harness averages single-link failures and reports the shape:
+// loop-back recovers in parallel, bounded time, small per-sub-network
+// reconfiguration; restoration is slower (sequential signalling);
+// whole-ring 1+1 switches massively more capacity.
+
+#include <iostream>
+
+#include "ccov/covering/construct.hpp"
+#include "ccov/protection/simulator.hpp"
+#include "ccov/util/table.hpp"
+#include "ccov/wdm/network.hpp"
+
+int main() {
+  using namespace ccov;
+  using namespace ccov::protection;
+  ccov::util::Table t({"n", "scheme", "affected", "switches",
+                       "extra hops", "max detour", "recovery ms"});
+  for (std::uint32_t n : {8u, 12u, 16u, 20u, 24u}) {
+    const auto inst = wdm::Instance::all_to_all(n);
+    const wdm::WdmRingNetwork net(n, covering::build_optimal_cover(n), inst);
+
+    const auto lb = average_over_failures(
+        n, [&](LinkFailure f) { return simulate_loopback(net, f); });
+    const auto rs = average_over_failures(
+        n, [&](LinkFailure f) { return simulate_restoration(n, inst, f); });
+    const auto wr = average_over_failures(
+        n, [&](LinkFailure f) { return simulate_whole_ring(n, inst, f); });
+
+    t.add(n, "loop-back", lb.affected_requests, lb.switching_actions,
+          lb.reroute_extra_hops, lb.max_detour_hops, lb.recovery_time_ms);
+    t.add(n, "restoration", rs.affected_requests, rs.switching_actions,
+          rs.reroute_extra_hops, rs.max_detour_hops, rs.recovery_time_ms);
+    t.add(n, "1+1 ring", wr.affected_requests, wr.switching_actions,
+          wr.reroute_extra_hops, wr.max_detour_hops, wr.recovery_time_ms);
+  }
+  t.print(std::cout,
+          "Single-link failure recovery (mean over all failures)");
+  std::cout << "\nShape check: loop-back recovery time stays near-constant "
+               "in n (parallel per-sub-network switching), restoration "
+               "grows with the affected demand, and 1+1 whole-ring needs "
+               "the most switched capacity.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+#pragma once
+/// \file bounds.hpp
+/// Closed forms for rho(n) (Theorems 1 and 2 of the paper) and the two
+/// lower-bound arguments that certify them.
+
+#include <cstdint>
+
+namespace ccov::covering {
+
+/// Minimum number of cycles in a DRC-covering of K_n over C_n.
+///   n odd,  n = 2p+1        : rho = p(p+1)/2            (Theorem 1)
+///   n even, n = 2p  (p >= 2): rho = ceil((p^2+1)/2)     (Theorem 2; the
+///                              formula also gives the correct value 3 for
+///                              n = 4, the paper's in-text example)
+///   n = 3: 1.
+std::uint64_t rho(std::uint32_t n);
+
+/// Capacity bound: every DRC cycle's routing tiles the ring exactly once,
+/// so rho >= ceil(L(n)/n) with L(n) the total minor-arc load of K_n.
+std::uint64_t capacity_lower_bound(std::uint32_t n);
+
+/// Refined bound for even n = 2p: a covering meeting the capacity bound
+/// would need every ring edge to lie under exactly p/2 of the p antipodal
+/// chords' chosen arcs; moving one edge forward flips that count by +-1,
+/// never 0, so equality is impossible and rho >= floor(p^2/2) + 1.
+/// For odd n this returns the capacity bound unchanged.
+std::uint64_t parity_lower_bound(std::uint32_t n);
+
+/// Theorem composition: the number of C3s / C4s in the optimal coverings
+/// described by the paper. Valid for odd n >= 3 and even n >= 6.
+struct Composition {
+  std::uint64_t c3 = 0;
+  std::uint64_t c4 = 0;
+};
+Composition theorem_composition(std::uint32_t n);
+
+}  // namespace ccov::covering

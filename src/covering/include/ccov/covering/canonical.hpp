@@ -1,0 +1,33 @@
+#pragma once
+/// \file canonical.hpp
+/// Symmetry utilities for coverings. The ring's automorphism group is the
+/// dihedral group D_n (rotations + reflections); these helpers normalize
+/// cycles and covers under it, deduplicate isomorphic covers, and apply
+/// group elements. Used by the solver's symmetry breaking, the test suite
+/// and anyone caching covers to disk.
+
+#include <cstdint>
+
+#include "ccov/covering/cover.hpp"
+
+namespace ccov::covering {
+
+/// Apply the rotation x -> x + shift (mod n) to every vertex.
+RingCover rotate_cover(const RingCover& cover, std::uint32_t shift);
+
+/// Apply the reflection x -> n - x (mod n) to every vertex.
+RingCover reflect_cover(const RingCover& cover);
+
+/// Canonical form of a cover under D_n and cycle re-encodings: every cycle
+/// canonicalized, cycles sorted, then the lexicographically least image
+/// over all 2n group elements. Two covers are D_n-isomorphic iff their
+/// canonical forms compare equal.
+RingCover canonical_cover(const RingCover& cover);
+
+/// True when two covers are isomorphic under the dihedral group.
+bool covers_isomorphic(const RingCover& a, const RingCover& b);
+
+/// Number of distinct covers in the D_n-orbit of `cover` (divides 2n).
+std::size_t orbit_size(const RingCover& cover);
+
+}  // namespace ccov::covering

@@ -1,0 +1,36 @@
+#pragma once
+/// \file cycle.hpp
+/// Logical cycles: the sub-networks I_k of the paper. A cycle is a sequence
+/// of >= 3 distinct vertices; it covers the request (chord) between each
+/// pair of cyclically consecutive vertices.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ccov/ring/ring.hpp"
+
+namespace ccov::covering {
+
+using Vertex = ring::Vertex;
+
+/// Vertex sequence of a logical cycle. Rotations and reversal denote the
+/// same cycle; see canonical().
+using Cycle = std::vector<Vertex>;
+
+/// True when the sequence is a structurally valid cycle: >= 3 vertices,
+/// all distinct, all < n.
+bool is_valid_cycle(const Cycle& c, std::uint32_t n);
+
+/// The chords (logical edges) covered by the cycle, normalized u < v.
+std::vector<std::pair<Vertex, Vertex>> cycle_chords(const Cycle& c);
+
+/// Canonical form: lexicographically smallest rotation/reflection. Two
+/// sequences denote the same cycle iff their canonical forms are equal.
+Cycle canonical(const Cycle& c);
+
+/// "(v0 v1 ... vk)" rendering for logs and examples.
+std::string to_string(const Cycle& c);
+
+}  // namespace ccov::covering

@@ -1,0 +1,19 @@
+#pragma once
+/// \file greedy.hpp
+/// Greedy DRC-covering baseline: repeatedly adds the C3/C4 covering the
+/// most uncovered chords. Simple, valid, but suboptimal — used in the
+/// benchmark tables to show the gap to the paper's constructions.
+
+#include "ccov/covering/cover.hpp"
+#include "ccov/graph/graph.hpp"
+
+namespace ccov::covering {
+
+/// Greedy covering of K_n over C_n.
+RingCover greedy_cover(std::uint32_t n);
+
+/// Greedy covering of an arbitrary demand graph over C_n (used by the
+/// tree-of-rings extension, where per-ring demands are not complete).
+RingCover greedy_cover_demand(std::uint32_t n, const graph::Graph& demand);
+
+}  // namespace ccov::covering

@@ -1,0 +1,28 @@
+#pragma once
+/// \file io.hpp
+/// Text serialization for coverings. Format:
+///
+///   drc-cover v1
+///   n <ring size>
+///   cycles <count>
+///   <k> v0 v1 ... v{k-1}        (one line per cycle)
+///
+/// Round-trippable; read_cover rejects malformed input with a descriptive
+/// exception but does NOT validate the covering semantically (call
+/// validate_cover for that).
+
+#include <iosfwd>
+#include <string>
+
+#include "ccov/covering/cover.hpp"
+
+namespace ccov::covering {
+
+void write_cover(std::ostream& os, const RingCover& cover);
+RingCover read_cover(std::istream& is);
+
+/// Convenience file wrappers (throw std::runtime_error on I/O failure).
+void save_cover(const std::string& path, const RingCover& cover);
+RingCover load_cover(const std::string& path);
+
+}  // namespace ccov::covering

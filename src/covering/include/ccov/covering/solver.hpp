@@ -1,0 +1,53 @@
+#pragma once
+/// \file solver.hpp
+/// Exact branch-and-bound search for minimum DRC-coverings. Together with
+/// the capacity/parity lower bounds this computationally certifies the
+/// rho(n) values of Theorems 1 and 2 for small n.
+
+#include <cstdint>
+#include <optional>
+
+#include "ccov/covering/cover.hpp"
+
+namespace ccov::covering {
+
+struct SolverOptions {
+  /// Maximum cycle length to branch on. Sizes {3,4} suffice to reach the
+  /// theorems' optima; since the matching lower bound certifies them, the
+  /// restricted search still proves rho(n) whenever it succeeds.
+  std::uint32_t max_cycle_len = 4;
+  /// Node budget (branch evaluations) before giving up.
+  std::uint64_t max_nodes = 200'000'000;
+  /// Capacity pruning (each cycle supplies exactly n arc units). Disabling
+  /// it exists only for the ablation benchmark — searches explode.
+  bool use_capacity_prune = true;
+};
+
+struct SolverResult {
+  bool found = false;          ///< a covering within the budget was found
+  bool exhausted = false;      ///< search space fully explored (proof of
+                               ///< infeasibility when !found)
+  std::uint64_t nodes = 0;     ///< branch nodes visited
+  RingCover cover;             ///< witness when found
+};
+
+/// Search for a DRC-covering of K_n with at most `budget` cycles.
+SolverResult solve_with_budget(std::uint32_t n, std::uint64_t budget,
+                               const SolverOptions& opts = {});
+
+/// Compute the exact minimum by decreasing the budget from the
+/// construction's value until infeasible. Returns the minimum count and a
+/// witness, or nullopt if the node budget was exceeded.
+std::optional<std::pair<std::uint64_t, RingCover>> solve_minimum(
+    std::uint32_t n, const SolverOptions& opts = {});
+
+/// Parallel variant: fans the root branching (the candidate cycles through
+/// chord (0, 1)) across a thread pool; each worker explores its subtree
+/// with an independent node budget. Results are identical to the serial
+/// search (first witness found wins; exhausted iff every subtree was).
+/// `threads == 0` selects hardware concurrency.
+SolverResult solve_with_budget_parallel(std::uint32_t n, std::uint64_t budget,
+                                        const SolverOptions& opts = {},
+                                        std::size_t threads = 0);
+
+}  // namespace ccov::covering

@@ -1,0 +1,60 @@
+#include "ccov/covering/bounds.hpp"
+
+#include <stdexcept>
+
+#include "ccov/ring/routing.hpp"
+#include "ccov/util/ints.hpp"
+
+namespace ccov::covering {
+
+std::uint64_t rho(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("rho: n >= 3 required");
+  const std::uint64_t N = n;
+  if (n % 2 == 1) {
+    const std::uint64_t p = (N - 1) / 2;
+    return p * (p + 1) / 2;
+  }
+  const std::uint64_t p = N / 2;
+  return (p * p + 1 + 1) / 2;  // ceil((p^2+1)/2)
+}
+
+std::uint64_t capacity_lower_bound(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("capacity_lower_bound: n >= 3");
+  return util::ceil_div<std::uint64_t>(ring::all_to_all_min_load(n), n);
+}
+
+std::uint64_t parity_lower_bound(std::uint32_t n) {
+  const std::uint64_t cap = capacity_lower_bound(n);
+  if (n % 2 == 1) return cap;
+  const std::uint64_t p = static_cast<std::uint64_t>(n) / 2;
+  // Tightness is impossible for even n (see header), so the bound is
+  // floor(p^2/2) + 1, which equals ceil((p^2+1)/2) for both parities of p.
+  return p * p / 2 + 1;
+}
+
+Composition theorem_composition(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("theorem_composition: n >= 3");
+  Composition comp;
+  const std::uint64_t N = n;
+  if (n % 2 == 1) {  // Theorem 1: p C3 + p(p-1)/2 C4
+    const std::uint64_t p = (N - 1) / 2;
+    comp.c3 = p;
+    comp.c4 = p * (p - 1) / 2;
+    return comp;
+  }
+  if (n % 4 == 0) {  // Theorem 2, n = 4q: 4 C3 + 2q^2-3 C4
+    const std::uint64_t q = N / 4;
+    if (n < 8) throw std::invalid_argument("theorem_composition: even n >= 6");
+    comp.c3 = 4;
+    comp.c4 = 2 * q * q - 3;
+    return comp;
+  }
+  // Theorem 2, n = 4q+2: 2 C3 + 2q^2+2q-1 C4
+  const std::uint64_t q = (N - 2) / 4;
+  if (n < 6) throw std::invalid_argument("theorem_composition: even n >= 6");
+  comp.c3 = 2;
+  comp.c4 = 2 * q * q + 2 * q - 1;
+  return comp;
+}
+
+}  // namespace ccov::covering

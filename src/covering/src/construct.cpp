@@ -1,0 +1,12 @@
+#include <stdexcept>
+
+#include "ccov/covering/construct.hpp"
+
+namespace ccov::covering {
+
+RingCover build_optimal_cover(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("build_optimal_cover: n >= 3");
+  return n % 2 == 1 ? construct_odd_cover(n) : construct_even_cover(n);
+}
+
+}  // namespace ccov::covering

@@ -1,0 +1,108 @@
+#include "ccov/covering/cover.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ccov/covering/drc.hpp"
+#include "ccov/util/ints.hpp"
+
+namespace ccov::covering {
+
+std::vector<std::size_t> composition(const RingCover& cover) {
+  std::size_t maxlen = 0;
+  for (const Cycle& c : cover.cycles) maxlen = std::max(maxlen, c.size());
+  std::vector<std::size_t> comp(maxlen + 1, 0);
+  for (const Cycle& c : cover.cycles) comp[c.size()] += 1;
+  return comp;
+}
+
+std::size_t count_c3(const RingCover& cover) {
+  return static_cast<std::size_t>(
+      std::count_if(cover.cycles.begin(), cover.cycles.end(),
+                    [](const Cycle& c) { return c.size() == 3; }));
+}
+
+std::size_t count_c4(const RingCover& cover) {
+  return static_cast<std::size_t>(
+      std::count_if(cover.cycles.begin(), cover.cycles.end(),
+                    [](const Cycle& c) { return c.size() == 4; }));
+}
+
+namespace {
+
+ValidationReport validate_impl(const RingCover& cover,
+                               const std::map<std::pair<Vertex, Vertex>,
+                                              std::uint32_t>& demand) {
+  ValidationReport rep;
+  if (cover.n < 3) {
+    rep.error = "ring size must be >= 3";
+    return rep;
+  }
+  const ring::Ring r(cover.n);
+
+  std::map<std::pair<Vertex, Vertex>, std::uint32_t> covered;
+  for (const Cycle& c : cover.cycles) {
+    if (!is_valid_cycle(c, cover.n)) {
+      rep.error = "structurally invalid cycle " + to_string(c);
+      return rep;
+    }
+    if (!satisfies_drc(r, c)) {
+      rep.non_drc_cycles += 1;
+      if (rep.error.empty())
+        rep.error = "cycle " + to_string(c) + " violates the DRC";
+      continue;
+    }
+    for (const auto& ch : cycle_chords(c)) covered[ch] += 1;
+  }
+  if (rep.non_drc_cycles > 0) return rep;
+
+  for (const auto& [chord, mult] : demand) {
+    const auto it = covered.find(chord);
+    const std::uint32_t have = it == covered.end() ? 0 : it->second;
+    if (have < mult) {
+      rep.uncovered_chords += mult - have;
+      if (rep.error.empty())
+        rep.error = "chord (" + std::to_string(chord.first) + "," +
+                    std::to_string(chord.second) + ") covered " +
+                    std::to_string(have) + " < " + std::to_string(mult) +
+                    " times";
+    } else {
+      rep.duplicate_coverage += have - mult;
+    }
+  }
+  // Coverage of chords outside the demand also counts as duplicate work.
+  for (const auto& [chord, cnt] : covered)
+    if (demand.find(chord) == demand.end()) rep.duplicate_coverage += cnt;
+
+  rep.ok = rep.uncovered_chords == 0;
+  if (rep.ok) rep.error.clear();
+  return rep;
+}
+
+}  // namespace
+
+ValidationReport validate_cover(const RingCover& cover) {
+  std::map<std::pair<Vertex, Vertex>, std::uint32_t> demand;
+  for (Vertex u = 0; u < cover.n; ++u)
+    for (Vertex v = u + 1; v < cover.n; ++v) demand[{u, v}] = 1;
+  return validate_impl(cover, demand);
+}
+
+ValidationReport validate_cover_against(const RingCover& cover,
+                                        const graph::Graph& demand) {
+  std::map<std::pair<Vertex, Vertex>, std::uint32_t> d;
+  for (const auto& e : demand.edges()) d[{e.u, e.v}] += 1;
+  return validate_impl(cover, d);
+}
+
+std::string summary(const RingCover& cover) {
+  const auto rep = validate_cover(cover);
+  std::string s = "n=" + std::to_string(cover.n) + ": " +
+                  std::to_string(cover.size()) + " cycles (" +
+                  std::to_string(count_c3(cover)) + " C3, " +
+                  std::to_string(count_c4(cover)) + " C4), " +
+                  (rep.ok ? "valid" : "INVALID: " + rep.error);
+  return s;
+}
+
+}  // namespace ccov::covering

@@ -1,0 +1,56 @@
+#include "ccov/covering/cycle.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ccov::covering {
+
+bool is_valid_cycle(const Cycle& c, std::uint32_t n) {
+  if (c.size() < 3) return false;
+  std::set<Vertex> seen;
+  for (Vertex v : c) {
+    if (v >= n) return false;
+    if (!seen.insert(v).second) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<Vertex, Vertex>> cycle_chords(const Cycle& c) {
+  std::vector<std::pair<Vertex, Vertex>> out;
+  out.reserve(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    Vertex u = c[i];
+    Vertex v = c[(i + 1) % c.size()];
+    if (u > v) std::swap(u, v);
+    out.emplace_back(u, v);
+  }
+  return out;
+}
+
+Cycle canonical(const Cycle& c) {
+  if (c.empty()) return c;
+  Cycle best;
+  Cycle cur = c;
+  for (int rev = 0; rev < 2; ++rev) {
+    for (std::size_t s = 0; s < cur.size(); ++s) {
+      Cycle rot(cur.size());
+      for (std::size_t i = 0; i < cur.size(); ++i)
+        rot[i] = cur[(s + i) % cur.size()];
+      if (best.empty() || rot < best) best = rot;
+    }
+    std::reverse(cur.begin(), cur.end());
+  }
+  return best;
+}
+
+std::string to_string(const Cycle& c) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i) s += ' ';
+    s += std::to_string(c[i]);
+  }
+  s += ')';
+  return s;
+}
+
+}  // namespace ccov::covering

@@ -1,0 +1,89 @@
+#include "ccov/covering/greedy.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ccov/graph/generators.hpp"
+#include "ccov/ring/ring.hpp"
+
+namespace ccov::covering {
+
+namespace {
+
+using ChordSet = std::set<std::pair<Vertex, Vertex>>;
+
+std::pair<Vertex, Vertex> norm_chord(Vertex a, Vertex b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+/// Best C3/C4 through chord (a, b): greedily extend with the vertex adding
+/// the most uncovered chords; O(n) per step.
+Cycle best_cycle_through(const ring::Ring& r, Vertex a, Vertex b,
+                         const ChordSet& uncovered) {
+  const std::uint32_t n = r.size();
+  auto fresh = [&](const Cycle& c) {
+    int f = 0;
+    for (std::size_t i = 0; i < c.size(); ++i)
+      f += uncovered.count(norm_chord(c[i], c[(i + 1) % c.size()])) ? 1 : 0;
+    return f;
+  };
+  Cycle best;
+  int best_fresh = -1;
+  for (Vertex w = 0; w < n; ++w) {
+    if (w == a || w == b) continue;
+    Cycle tri{a, b, w};
+    std::sort(tri.begin(), tri.end());
+    const int f3 = fresh(tri);
+    if (f3 > best_fresh) {
+      best_fresh = f3;
+      best = tri;
+    }
+    // Try upgrading to a quad with a second vertex on the same side of
+    // (a, b) as w (keeps (a, b) an edge of the sorted cycle).
+    for (Vertex z = w + 1; z < n; ++z) {
+      if (z == a || z == b) continue;
+      const bool same_ab = (r.cw_dist(a, w) < r.cw_dist(a, b)) ==
+                           (r.cw_dist(a, z) < r.cw_dist(a, b));
+      if (!same_ab) continue;
+      Cycle quad{a, b, w, z};
+      std::sort(quad.begin(), quad.end());
+      const int f4 = fresh(quad);
+      if (f4 > best_fresh) {
+        best_fresh = f4;
+        best = quad;
+      }
+    }
+  }
+  return best;
+}
+
+RingCover greedy_impl(std::uint32_t n, ChordSet uncovered) {
+  const ring::Ring r(n);
+  RingCover cover;
+  cover.n = n;
+  while (!uncovered.empty()) {
+    const auto [a, b] = *uncovered.begin();
+    Cycle c = best_cycle_through(r, a, b, uncovered);
+    for (std::size_t i = 0; i < c.size(); ++i)
+      uncovered.erase(norm_chord(c[i], c[(i + 1) % c.size()]));
+    cover.cycles.push_back(std::move(c));
+  }
+  return cover;
+}
+
+}  // namespace
+
+RingCover greedy_cover(std::uint32_t n) {
+  ChordSet uncovered;
+  for (Vertex a = 0; a < n; ++a)
+    for (Vertex b = a + 1; b < n; ++b) uncovered.insert({a, b});
+  return greedy_impl(n, std::move(uncovered));
+}
+
+RingCover greedy_cover_demand(std::uint32_t n, const graph::Graph& demand) {
+  ChordSet uncovered;
+  for (const auto& e : demand.edges()) uncovered.insert(norm_chord(e.u, e.v));
+  return greedy_impl(n, std::move(uncovered));
+}
+
+}  // namespace ccov::covering

@@ -1,0 +1,244 @@
+#include "ccov/covering/solver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "ccov/covering/bounds.hpp"
+#include "ccov/covering/construct.hpp"
+#include "ccov/ring/ring.hpp"
+#include "ccov/util/ints.hpp"
+#include "ccov/util/thread_pool.hpp"
+
+namespace ccov::covering {
+
+namespace {
+
+struct Search {
+  std::uint32_t n;
+  ring::Ring r;
+  SolverOptions opts;
+  std::uint64_t nodes = 0;
+  bool node_budget_hit = false;
+
+  // Chord (a, b), a < b, indexed as a*n + b. covered[] counts coverage.
+  std::vector<std::uint8_t> covered;
+  std::uint64_t remaining_load = 0;  // sum of minor distances of uncovered
+  std::size_t uncovered_count = 0;
+  std::vector<Cycle> chosen;
+  std::vector<Cycle> best;
+  bool found = false;
+
+  explicit Search(std::uint32_t nn, const SolverOptions& o)
+      : n(nn), r(nn), opts(o), covered(static_cast<std::size_t>(nn) * nn, 0) {
+    for (Vertex a = 0; a < n; ++a)
+      for (Vertex b = a + 1; b < n; ++b) {
+        remaining_load += r.dist(a, b);
+        ++uncovered_count;
+      }
+  }
+
+  std::size_t idx(Vertex a, Vertex b) const {
+    return static_cast<std::size_t>(a) * n + b;
+  }
+
+  void apply(const Cycle& c, int delta) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      Vertex a = c[i], b = c[(i + 1) % c.size()];
+      if (a > b) std::swap(a, b);
+      std::uint8_t& cnt = covered[idx(a, b)];
+      if (delta > 0) {
+        if (cnt == 0) {
+          remaining_load -= r.dist(a, b);
+          --uncovered_count;
+        }
+        ++cnt;
+      } else {
+        --cnt;
+        if (cnt == 0) {
+          remaining_load += r.dist(a, b);
+          ++uncovered_count;
+        }
+      }
+    }
+  }
+
+  /// First uncovered chord in lexicographic order.
+  bool first_uncovered(Vertex& a, Vertex& b) const {
+    for (Vertex x = 0; x < n; ++x)
+      for (Vertex y = x + 1; y < n; ++y)
+        if (covered[idx(x, y)] == 0) {
+          a = x;
+          b = y;
+          return true;
+        }
+    return false;
+  }
+
+  /// Candidate circularly ordered cycles (sizes 3..max_cycle_len) that
+  /// contain chord (a, b) as an edge. A circular cycle is determined by its
+  /// vertex set; (a, b) is an edge iff one open arc between them holds no
+  /// other chosen vertex. We enumerate subsets of each open arc.
+  std::vector<Cycle> candidates(Vertex a, Vertex b) const {
+    std::vector<Cycle> out;
+    // Vertices strictly inside the cw arc a->b and b->a respectively.
+    std::vector<Vertex> in_ab, in_ba;
+    for (Vertex w = 0; w < n; ++w) {
+      if (w == a || w == b) continue;
+      (r.cw_dist(a, w) < r.cw_dist(a, b) ? in_ab : in_ba).push_back(w);
+    }
+    auto emit = [&](const std::vector<Vertex>& side) {
+      // pick 1..(max_cycle_len-2) extra vertices, all from one side
+      const std::uint32_t extra_max = opts.max_cycle_len - 2;
+      for (std::size_t i = 0; i < side.size(); ++i) {
+        out.push_back(sorted3(a, b, side[i]));
+        if (extra_max >= 2)
+          for (std::size_t j = i + 1; j < side.size(); ++j)
+            out.push_back(sorted4(a, b, side[i], side[j]));
+      }
+    };
+    emit(in_ab);
+    emit(in_ba);
+    // Deduplicate triangles (emitted from both sides).
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    // Prefer cycles covering many uncovered chords.
+    std::stable_sort(out.begin(), out.end(),
+                     [&](const Cycle& x, const Cycle& y) {
+                       return fresh(x) > fresh(y);
+                     });
+    return out;
+  }
+
+  Cycle sorted3(Vertex a, Vertex b, Vertex c) const {
+    Cycle v{a, b, c};
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+  Cycle sorted4(Vertex a, Vertex b, Vertex c, Vertex d) const {
+    Cycle v{a, b, c, d};
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+  int fresh(const Cycle& c) const {
+    int f = 0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      Vertex a = c[i], b = c[(i + 1) % c.size()];
+      if (a > b) std::swap(a, b);
+      f += covered[idx(a, b)] == 0 ? 1 : 0;
+    }
+    return f;
+  }
+
+  bool dfs(std::uint64_t budget) {
+    if (++nodes > opts.max_nodes) {
+      node_budget_hit = true;
+      return false;
+    }
+    Vertex a, b;
+    if (!first_uncovered(a, b)) {
+      best = chosen;
+      found = true;
+      return true;
+    }
+    if (budget == 0) return false;
+    // Capacity prune: each further cycle supplies exactly n units of arc
+    // length, every uncovered chord costs at least its minor distance.
+    if (opts.use_capacity_prune &&
+        util::ceil_div<std::uint64_t>(remaining_load, n) > budget)
+      return false;
+    for (const Cycle& c : candidates(a, b)) {
+      apply(c, +1);
+      chosen.push_back(c);
+      if (dfs(budget - 1)) return true;
+      chosen.pop_back();
+      apply(c, -1);
+      if (node_budget_hit) return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+SolverResult solve_with_budget(std::uint32_t n, std::uint64_t budget,
+                               const SolverOptions& opts) {
+  Search s(n, opts);
+  SolverResult res;
+  const bool ok = s.dfs(budget);
+  res.found = ok;
+  res.nodes = s.nodes;
+  res.exhausted = !s.node_budget_hit;
+  if (ok) res.cover = RingCover{n, s.best};
+  return res;
+}
+
+SolverResult solve_with_budget_parallel(std::uint32_t n, std::uint64_t budget,
+                                        const SolverOptions& opts,
+                                        std::size_t threads) {
+  // Root candidates: every cycle through the lexicographically first chord
+  // (0, 1). Each becomes an independent subtree; the dihedral symmetry of
+  // the empty state is broken the same way the serial search breaks it.
+  Search root(n, opts);
+  Vertex a = 0, b = 0;
+  SolverResult res;
+  if (!root.first_uncovered(a, b)) {
+    res.found = true;
+    res.exhausted = true;
+    res.cover = RingCover{n, {}};
+    return res;
+  }
+  if (budget == 0) {
+    res.exhausted = true;
+    return res;
+  }
+  const std::vector<Cycle> roots = root.candidates(a, b);
+
+  std::mutex mu;
+  std::atomic<bool> found{false};
+  bool all_exhausted = true;
+  std::uint64_t total_nodes = 0;
+  RingCover witness;
+
+  util::ThreadPool pool(threads);
+  util::parallel_for(pool, 0, roots.size(), [&](std::size_t i) {
+    if (found.load(std::memory_order_relaxed)) return;
+    Search s(n, opts);
+    s.apply(roots[i], +1);
+    s.chosen.push_back(roots[i]);
+    const bool ok = s.dfs(budget - 1);
+    std::lock_guard lk(mu);
+    total_nodes += s.nodes;
+    if (s.node_budget_hit) all_exhausted = false;
+    if (ok && !found.exchange(true)) witness = RingCover{n, s.best};
+  });
+
+  res.found = found.load();
+  res.nodes = total_nodes;
+  res.exhausted = res.found || all_exhausted;
+  if (res.found) res.cover = std::move(witness);
+  return res;
+}
+
+std::optional<std::pair<std::uint64_t, RingCover>> solve_minimum(
+    std::uint32_t n, const SolverOptions& opts) {
+  // Start from the construction (an upper bound) and push downward.
+  RingCover ub = build_optimal_cover(n);
+  std::uint64_t best = ub.size();
+  RingCover witness = ub;
+  while (best > 1) {
+    SolverResult res = solve_with_budget(n, best - 1, opts);
+    if (res.found) {
+      best = res.cover.size();
+      witness = res.cover;
+      continue;
+    }
+    if (!res.exhausted) return std::nullopt;  // inconclusive
+    break;
+  }
+  return std::make_pair(best, witness);
+}
+
+}  // namespace ccov::covering

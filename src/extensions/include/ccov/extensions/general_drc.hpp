@@ -1,0 +1,32 @@
+#pragma once
+/// \file general_drc.hpp
+/// DRC on arbitrary physical graphs (the paper's grid/torus extension):
+/// does a set of requests admit pairwise edge-disjoint paths? On general
+/// graphs this is the edge-disjoint paths problem; the backtracking solver
+/// here handles the small cycles (C3/C4/C5) the covering framework uses.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ccov/graph/graph.hpp"
+
+namespace ccov::extensions {
+
+using Request = std::pair<graph::Vertex, graph::Vertex>;
+using Path = std::vector<graph::Vertex>;
+
+/// Find pairwise edge-disjoint paths for the requests on g, or nullopt.
+/// Exponential in the worst case; `max_nodes` bounds the search.
+std::optional<std::vector<Path>> edge_disjoint_routing(
+    const graph::Graph& g, const std::vector<Request>& requests,
+    std::uint64_t max_nodes = 1'000'000);
+
+/// DRC check for a logical cycle on an arbitrary physical graph: its
+/// cyclically consecutive requests must be routable edge-disjointly.
+bool satisfies_drc_general(const graph::Graph& g,
+                           const std::vector<graph::Vertex>& cycle,
+                           std::uint64_t max_nodes = 1'000'000);
+
+}  // namespace ccov::extensions

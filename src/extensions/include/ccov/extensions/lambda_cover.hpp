@@ -1,0 +1,31 @@
+#pragma once
+/// \file lambda_cover.hpp
+/// The paper's first announced extension: DRC-coverings of lambda*K_n
+/// (every pair communicates lambda times). Capacity scales linearly, so
+/// for odd n taking lambda copies of the optimal K_n covering is exactly
+/// optimal; for even n the parity obstruction applies only when lambda is
+/// odd, which the lower bound reflects.
+
+#include <cstdint>
+
+#include "ccov/covering/cover.hpp"
+
+namespace ccov::extensions {
+
+/// Lower bound on the number of cycles in a DRC-covering of lambda*K_n:
+/// lambda * L(n) / n rounded up, plus 1 for even n with odd lambda and
+/// even p = n/2 (the antipodal parity argument survives exactly when
+/// lambda is odd, and only binds when lambda*p^2/2 is an integer).
+std::uint64_t rho_lambda_lower_bound(std::uint32_t n, std::uint32_t lambda);
+
+/// Construction: lambda relabelled copies of the optimal K_n covering.
+/// Optimal for odd n (matches the lower bound); within lambda-1 of the
+/// bound for even n.
+covering::RingCover build_lambda_cover(std::uint32_t n, std::uint32_t lambda);
+
+/// Validate a cover against the lambda*K_n demand (every chord covered at
+/// least lambda times).
+bool validate_lambda_cover(const covering::RingCover& cover,
+                           std::uint32_t lambda);
+
+}  // namespace ccov::extensions

@@ -1,0 +1,41 @@
+#pragma once
+/// \file tree_of_rings.hpp
+/// The paper's topology extension: physical networks made of rings glued
+/// at articulation vertices ("trees of rings"). Every request follows the
+/// unique sequence of rings between its endpoints, inducing a per-ring
+/// demand graph which is covered independently with DRC cycles (each ring
+/// protects its own sub-networks, exactly the paper's scheme applied
+/// ring-by-ring).
+
+#include <cstdint>
+#include <vector>
+
+#include "ccov/covering/cover.hpp"
+#include "ccov/graph/graph.hpp"
+
+namespace ccov::extensions {
+
+/// One ring of the tree, as the (cyclically ordered) list of global
+/// vertex ids around it.
+struct RingComponent {
+  std::vector<graph::Vertex> vertices;
+};
+
+/// Decompose a tree-of-rings graph into its rings (biconnected components,
+/// each of which must be a cycle). Throws if a component is not a cycle.
+std::vector<RingComponent> decompose_rings(const graph::Graph& g);
+
+struct TreeOfRingsCover {
+  /// Per-ring covers, in decompose_rings order; cycles use LOCAL ring
+  /// indices (position within RingComponent::vertices).
+  std::vector<covering::RingCover> ring_covers;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_demand_edges = 0;
+  std::uint64_t lower_bound = 0;  ///< sum of per-ring load lower bounds
+};
+
+/// Cover the all-to-all instance on a tree of rings: project every request
+/// onto each ring it traverses and cover the projected demands per ring.
+TreeOfRingsCover cover_all_to_all(const graph::Graph& g);
+
+}  // namespace ccov::extensions

@@ -1,0 +1,80 @@
+#include "ccov/extensions/general_drc.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ccov::extensions {
+
+namespace {
+
+using graph::Vertex;
+
+struct Router {
+  const graph::Graph& g;
+  std::uint64_t budget;
+  std::set<std::pair<Vertex, Vertex>> used;  // directed-normalized edges
+  std::vector<Path> paths;
+
+  bool edge_free(Vertex u, Vertex v) const {
+    return !used.count({std::min(u, v), std::max(u, v)});
+  }
+  void take(Vertex u, Vertex v) {
+    used.insert({std::min(u, v), std::max(u, v)});
+  }
+  void release(Vertex u, Vertex v) {
+    used.erase({std::min(u, v), std::max(u, v)});
+  }
+
+  /// DFS over simple paths from cur to target avoiding used edges.
+  bool extend(Path& path, Vertex target,
+              const std::vector<Request>& requests, std::size_t idx) {
+    if (budget == 0) return false;
+    --budget;
+    const Vertex cur = path.back();
+    if (cur == target) {
+      paths.push_back(path);
+      if (route(requests, idx + 1)) return true;
+      paths.pop_back();
+      return false;
+    }
+    for (Vertex w : g.neighbors(cur)) {
+      if (!edge_free(cur, w)) continue;
+      if (std::find(path.begin(), path.end(), w) != path.end()) continue;
+      take(cur, w);
+      path.push_back(w);
+      if (extend(path, target, requests, idx)) return true;
+      path.pop_back();
+      release(cur, w);
+    }
+    return false;
+  }
+
+  bool route(const std::vector<Request>& requests, std::size_t idx) {
+    if (idx == requests.size()) return true;
+    Path path{requests[idx].first};
+    return extend(path, requests[idx].second, requests, idx);
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<Path>> edge_disjoint_routing(
+    const graph::Graph& g, const std::vector<Request>& requests,
+    std::uint64_t max_nodes) {
+  Router router{g, max_nodes, {}, {}};
+  if (!router.route(requests, 0)) return std::nullopt;
+  return router.paths;
+}
+
+bool satisfies_drc_general(const graph::Graph& g,
+                           const std::vector<graph::Vertex>& cycle,
+                           std::uint64_t max_nodes) {
+  if (cycle.size() < 3) return false;
+  std::vector<Request> reqs;
+  reqs.reserve(cycle.size());
+  for (std::size_t i = 0; i < cycle.size(); ++i)
+    reqs.push_back({cycle[i], cycle[(i + 1) % cycle.size()]});
+  return edge_disjoint_routing(g, reqs, max_nodes).has_value();
+}
+
+}  // namespace ccov::extensions

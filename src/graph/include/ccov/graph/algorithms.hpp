@@ -1,0 +1,37 @@
+#pragma once
+/// \file algorithms.hpp
+/// Basic graph algorithms needed by the covering machinery and the
+/// extension modules (connectivity, BFS distances, cycle recognition,
+/// articulation points for tree-of-rings decomposition).
+
+#include <cstdint>
+#include <vector>
+
+#include "ccov/graph/graph.hpp"
+
+namespace ccov::graph {
+
+/// Component id per vertex (ids are 0..k-1 in discovery order).
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// True when g is a single simple cycle through all its vertices.
+bool is_cycle_graph(const Graph& g);
+
+/// BFS hop distances from src (UINT32_MAX when unreachable).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex src);
+
+/// One shortest path between s and t (empty when unreachable); vertices
+/// listed s..t inclusive.
+std::vector<Vertex> shortest_path(const Graph& g, Vertex s, Vertex t);
+
+/// Articulation (cut) vertices; for a tree of rings these are exactly the
+/// ring attachment points.
+std::vector<Vertex> articulation_points(const Graph& g);
+
+/// True when every vertex has even degree and the graph is connected on its
+/// non-isolated vertices (Eulerian circuit exists). K_n has this for odd n.
+bool has_eulerian_circuit(const Graph& g);
+
+}  // namespace ccov::graph

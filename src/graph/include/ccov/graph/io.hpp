@@ -1,0 +1,21 @@
+#pragma once
+/// \file io.hpp
+/// Graph serialization: Graphviz DOT export (for the examples) and a simple
+/// whitespace edge-list format (round-trippable, for test fixtures).
+
+#include <iosfwd>
+#include <string>
+
+#include "ccov/graph/graph.hpp"
+
+namespace ccov::graph {
+
+/// Emit the graph as an undirected DOT document.
+void write_dot(std::ostream& os, const Graph& g,
+               const std::string& name = "G");
+
+/// Format: first line "n m", then m lines "u v".
+void write_edge_list(std::ostream& os, const Graph& g);
+Graph read_edge_list(std::istream& is);
+
+}  // namespace ccov::graph

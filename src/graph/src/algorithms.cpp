@@ -1,0 +1,156 @@
+#include "ccov/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+namespace ccov::graph {
+
+namespace {
+constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<std::uint32_t> comp(n, kUnset);
+  std::uint32_t next = 0;
+  std::vector<Vertex> stack;
+  for (Vertex s = 0; s < n; ++s) {
+    if (comp[s] != kUnset) continue;
+    comp[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (Vertex w : g.neighbors(v))
+        if (comp[w] == kUnset) {
+          comp[w] = next;
+          stack.push_back(w);
+        }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto comp = connected_components(g);
+  return std::all_of(comp.begin(), comp.end(),
+                     [](std::uint32_t c) { return c == 0; });
+}
+
+bool is_cycle_graph(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  if (n < 3 || g.num_edges() != n || !g.is_simple()) return false;
+  for (Vertex v = 0; v < n; ++v)
+    if (g.degree(v) != 2) return false;
+  return is_connected(g);
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex src) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnset);
+  std::queue<Vertex> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    for (Vertex w : g.neighbors(v))
+      if (dist[w] == kUnset) {
+        dist[w] = dist[v] + 1;
+        q.push(w);
+      }
+  }
+  return dist;
+}
+
+std::vector<Vertex> shortest_path(const Graph& g, Vertex s, Vertex t) {
+  std::vector<Vertex> parent(g.num_vertices(), kUnset);
+  std::vector<std::uint8_t> seen(g.num_vertices(), 0);
+  std::queue<Vertex> q;
+  seen[s] = 1;
+  q.push(s);
+  while (!q.empty() && !seen[t]) {
+    const Vertex v = q.front();
+    q.pop();
+    for (Vertex w : g.neighbors(v))
+      if (!seen[w]) {
+        seen[w] = 1;
+        parent[w] = v;
+        q.push(w);
+      }
+  }
+  if (!seen[t]) return {};
+  std::vector<Vertex> path{t};
+  for (Vertex v = t; v != s; v = parent[v]) path.push_back(parent[v]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+namespace {
+
+struct ArtState {
+  const Graph& g;
+  std::vector<std::uint32_t> disc, low;
+  std::vector<std::uint8_t> is_art;
+  std::uint32_t timer = 0;
+
+  explicit ArtState(const Graph& gg)
+      : g(gg),
+        disc(gg.num_vertices(), kUnset),
+        low(gg.num_vertices(), 0),
+        is_art(gg.num_vertices(), 0) {}
+
+  void dfs(Vertex v, Vertex parent) {
+    disc[v] = low[v] = timer++;
+    std::uint32_t children = 0;
+    bool skipped_parent_edge = false;
+    for (Vertex w : g.neighbors(v)) {
+      if (w == parent && !skipped_parent_edge) {
+        // Skip exactly one copy of the tree edge; a parallel edge back to the
+        // parent legitimately lowers low[v].
+        skipped_parent_edge = true;
+        continue;
+      }
+      if (disc[w] != kUnset) {
+        low[v] = std::min(low[v], disc[w]);
+        continue;
+      }
+      ++children;
+      dfs(w, v);
+      low[v] = std::min(low[v], low[w]);
+      if (parent != kUnset && low[w] >= disc[v]) is_art[v] = 1;
+    }
+    if (parent == kUnset && children > 1) is_art[v] = 1;
+  }
+};
+
+}  // namespace
+
+std::vector<Vertex> articulation_points(const Graph& g) {
+  ArtState st(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (st.disc[v] == kUnset) st.dfs(v, kUnset);
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (st.is_art[v]) out.push_back(v);
+  return out;
+}
+
+bool has_eulerian_circuit(const Graph& g) {
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (g.degree(v) % 2 != 0) return false;
+  // Connectivity restricted to non-isolated vertices.
+  const auto comp = connected_components(g);
+  std::uint32_t used_comp = kUnset;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) == 0) continue;
+    if (used_comp == kUnset) used_comp = comp[v];
+    if (comp[v] != used_comp) return false;
+  }
+  return true;
+}
+
+}  // namespace ccov::graph

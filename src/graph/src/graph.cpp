@@ -1,0 +1,39 @@
+#include "ccov/graph/graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ccov::graph {
+
+std::size_t Graph::add_edge(Vertex u, Vertex v) {
+  if (u == v) throw std::invalid_argument("Graph: self-loops not supported");
+  ensure_vertices(std::max(u, v) + 1);
+  edges_.push_back(normalized(Edge{u, v}));
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  return edges_.size() - 1;
+}
+
+std::uint32_t Graph::multiplicity(Vertex u, Vertex v) const {
+  if (u >= n_ || v >= n_) return 0;
+  const auto& nb = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const Vertex other = adj_[u].size() <= adj_[v].size() ? v : u;
+  return static_cast<std::uint32_t>(std::count(nb.begin(), nb.end(), other));
+}
+
+bool Graph::is_simple() const {
+  std::set<std::pair<Vertex, Vertex>> seen;
+  for (const Edge& e : edges_)
+    if (!seen.insert({e.u, e.v}).second) return false;
+  return true;
+}
+
+void Graph::ensure_vertices(std::uint32_t n) {
+  if (n > n_) {
+    n_ = n;
+    adj_.resize(n);
+  }
+}
+
+}  // namespace ccov::graph

@@ -1,0 +1,42 @@
+#pragma once
+/// \file node_failure.hpp
+/// Node (optical switch / "equipment") failures — the paper's survivability
+/// scheme covers "equipment or link failure". A node failure removes both
+/// incident fibre links AND terminates every request at that node.
+///
+/// Per sub-network on a single node failure:
+///  * if the failed node is NOT a vertex of the cycle, its two incident
+///    ring links both fail; the sub-network loops back the (single) arc
+///    that crossed the node — same mechanics as a link failure;
+///  * if the failed node IS a cycle vertex, its two incident requests are
+///    lost (no protection can restore traffic to dead equipment); the
+///    remaining requests of the cycle are re-routed on the surviving path.
+
+#include <cstdint>
+
+#include "ccov/protection/simulator.hpp"
+
+namespace ccov::protection {
+
+struct NodeFailure {
+  std::uint32_t node = 0;
+};
+
+struct NodeRecoveryReport {
+  std::uint64_t lost_requests = 0;       ///< requests terminating at the node
+  std::uint64_t rerouted_requests = 0;   ///< transit requests restored
+  std::uint64_t switching_actions = 0;
+  std::uint64_t reroute_extra_hops = 0;
+  double recovery_time_ms = 0.0;
+};
+
+/// Loop-back recovery of a cycle-cover network on a node failure.
+NodeRecoveryReport simulate_node_failure(const wdm::WdmRingNetwork& net,
+                                         NodeFailure f,
+                                         const TimingModel& t = {});
+
+/// Mean over all n node failures.
+NodeRecoveryReport average_over_node_failures(const wdm::WdmRingNetwork& net,
+                                              const TimingModel& t = {});
+
+}  // namespace ccov::protection

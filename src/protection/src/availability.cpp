@@ -1,0 +1,68 @@
+#include "ccov/protection/availability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccov::protection {
+
+namespace {
+
+/// Availability of a path of `links` fibre spans and `transit` pass-through
+/// nodes (endpoints are accounted for separately by the caller).
+double path_availability(std::uint32_t links, std::uint32_t transit,
+                         const ComponentModel& m) {
+  return std::pow(m.link_availability(), links) *
+         std::pow(m.node_availability(), transit);
+}
+
+}  // namespace
+
+double request_availability_protected(const ring::Ring& r,
+                                      const ring::Arc& arc,
+                                      const ComponentModel& m) {
+  const double a_end = m.node_availability() * m.node_availability();
+  const double work =
+      path_availability(arc.len, arc.len >= 1 ? arc.len - 1 : 0, m);
+  const std::uint32_t prot_len = r.size() - arc.len;
+  const double prot =
+      path_availability(prot_len, prot_len >= 1 ? prot_len - 1 : 0, m);
+  return a_end * (1.0 - (1.0 - work) * (1.0 - prot));
+}
+
+double request_availability_unprotected(const ring::Ring& r,
+                                        const ring::Arc& arc,
+                                        const ComponentModel& m) {
+  (void)r;
+  const double a_end = m.node_availability() * m.node_availability();
+  return a_end * path_availability(arc.len,
+                                   arc.len >= 1 ? arc.len - 1 : 0, m);
+}
+
+AvailabilityReport analyze_availability(const wdm::WdmRingNetwork& net,
+                                        const ComponentModel& m) {
+  const ring::Ring& r = net.topology();
+  AvailabilityReport rep;
+  double sum_p = 0.0, sum_u = 0.0;
+  double down_p = 0.0, down_u = 0.0;
+  for (const auto& sub : net.subnetworks()) {
+    for (const ring::Arc& a : sub.routing) {
+      const double ap = request_availability_protected(r, a, m);
+      const double au = request_availability_unprotected(r, a, m);
+      rep.min_protected = std::min(rep.min_protected, ap);
+      rep.min_unprotected = std::min(rep.min_unprotected, au);
+      sum_p += ap;
+      sum_u += au;
+      down_p += 1.0 - ap;
+      down_u += 1.0 - au;
+      rep.requests += 1;
+    }
+  }
+  if (rep.requests > 0) {
+    rep.mean_protected = sum_p / static_cast<double>(rep.requests);
+    rep.mean_unprotected = sum_u / static_cast<double>(rep.requests);
+    rep.downtime_reduction = down_p > 0.0 ? down_u / down_p : 1.0;
+  }
+  return rep;
+}
+
+}  // namespace ccov::protection

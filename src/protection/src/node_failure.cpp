@@ -1,0 +1,72 @@
+#include "ccov/protection/node_failure.hpp"
+
+#include <algorithm>
+
+namespace ccov::protection {
+
+NodeRecoveryReport simulate_node_failure(const wdm::WdmRingNetwork& net,
+                                         NodeFailure f,
+                                         const TimingModel& t) {
+  const ring::Ring& r = net.topology();
+  NodeRecoveryReport rep;
+  double worst_sub_time = 0.0;
+
+  for (const auto& sub : net.subnetworks()) {
+    const bool is_vertex =
+        std::find(sub.cycle.begin(), sub.cycle.end(),
+                  static_cast<ring::Vertex>(f.node)) != sub.cycle.end();
+    if (is_vertex) {
+      // The node terminates two requests of this cycle; they are lost.
+      rep.lost_requests += 2;
+      // The rest of the cycle survives on the arcs not incident to the
+      // failed node; reconfiguring the two neighbouring ADMs isolates it.
+      rep.switching_actions += 2;
+      worst_sub_time =
+          std::max(worst_sub_time, t.detect_ms + 2 * t.per_switch_ms);
+      continue;
+    }
+    // Transit failure: both ring links at the node fail. The node sits
+    // under exactly one routed arc of this sub-network (the routing tiles
+    // the ring), and that arc loses both its links through the node; the
+    // request loops back on the cycle complement, exactly as for a link
+    // failure.
+    const std::uint32_t e_left = f.node == 0 ? r.size() - 1 : f.node - 1;
+    for (const ring::Arc& a : sub.routing) {
+      if (!ring::arc_covers_edge(r, a, e_left) &&
+          !ring::arc_covers_edge(r, a, f.node))
+        continue;
+      rep.rerouted_requests += 1;
+      rep.switching_actions += 2;
+      const std::uint64_t detour = r.size() - a.len;
+      rep.reroute_extra_hops += detour - a.len;
+      worst_sub_time = std::max(
+          worst_sub_time, t.detect_ms + 2 * t.per_switch_ms +
+                              t.per_hop_ms * static_cast<double>(detour));
+      break;  // one arc crosses the node per sub-network
+    }
+  }
+  rep.recovery_time_ms = worst_sub_time;
+  return rep;
+}
+
+NodeRecoveryReport average_over_node_failures(const wdm::WdmRingNetwork& net,
+                                              const TimingModel& t) {
+  const std::uint32_t n = net.nodes();
+  NodeRecoveryReport acc;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const auto r = simulate_node_failure(net, NodeFailure{v}, t);
+    acc.lost_requests += r.lost_requests;
+    acc.rerouted_requests += r.rerouted_requests;
+    acc.switching_actions += r.switching_actions;
+    acc.reroute_extra_hops += r.reroute_extra_hops;
+    acc.recovery_time_ms += r.recovery_time_ms;
+  }
+  acc.lost_requests /= n;
+  acc.rerouted_requests /= n;
+  acc.switching_actions /= n;
+  acc.reroute_extra_hops /= n;
+  acc.recovery_time_ms /= static_cast<double>(n);
+  return acc;
+}
+
+}  // namespace ccov::protection

@@ -1,0 +1,58 @@
+#pragma once
+/// \file ring.hpp
+/// The physical topology of the paper: an undirected ring (cycle) C_n.
+/// Vertices are 0..n-1 in clockwise order; ring edge e is the edge between
+/// vertex e and vertex e+1 (mod n).
+
+#include <cassert>
+#include <cstdint>
+
+#include "ccov/util/ints.hpp"
+
+namespace ccov::ring {
+
+using Vertex = std::uint32_t;
+
+class Ring {
+ public:
+  /// A ring needs at least 3 vertices to be a simple cycle.
+  explicit constexpr Ring(std::uint32_t n) : n_(n) { assert(n >= 3); }
+
+  constexpr std::uint32_t size() const { return n_; }
+
+  constexpr Vertex succ(Vertex v) const { return v + 1 == n_ ? 0 : v + 1; }
+  constexpr Vertex pred(Vertex v) const { return v == 0 ? n_ - 1 : v - 1; }
+
+  /// Clockwise distance from u to v (0 if equal, in [0, n)).
+  constexpr std::uint32_t cw_dist(Vertex u, Vertex v) const {
+    assert(u < n_ && v < n_);
+    return v >= u ? v - u : n_ - (u - v);
+  }
+
+  /// Ring (graph) distance = length of the shorter of the two arcs.
+  constexpr std::uint32_t dist(Vertex u, Vertex v) const {
+    const std::uint32_t d = cw_dist(u, v);
+    return d <= n_ - d ? d : n_ - d;
+  }
+
+  /// True when the two arcs between u and v have equal length (only for
+  /// even n, antipodal pairs). These chords are where Theorem 2's slack
+  /// lives: either side is a valid minor routing.
+  constexpr bool antipodal(Vertex u, Vertex v) const {
+    return n_ % 2 == 0 && cw_dist(u, v) == n_ / 2;
+  }
+
+  /// Advance v by k positions clockwise.
+  constexpr Vertex advance(Vertex v, std::uint32_t k) const {
+    return static_cast<Vertex>((static_cast<std::uint64_t>(v) + k) % n_);
+  }
+
+  friend constexpr bool operator==(const Ring& a, const Ring& b) {
+    return a.n_ == b.n_;
+  }
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace ccov::ring

@@ -1,0 +1,51 @@
+#include "ccov/ring/tiling.hpp"
+
+#include <algorithm>
+
+namespace ccov::ring {
+
+std::vector<std::uint32_t> edge_load(const Ring& r,
+                                     const std::vector<Arc>& arcs) {
+  // Difference-array sweep: O(arcs + n) instead of O(arcs * len).
+  const std::uint32_t n = r.size();
+  std::vector<std::uint32_t> load(n, 0);
+  std::vector<std::int32_t> diff(n + 1, 0);
+  for (const Arc& a : arcs) {
+    if (a.len == 0) continue;
+    if (a.start + a.len <= n) {
+      diff[a.start] += 1;
+      diff[a.start + a.len] -= 1;
+    } else {  // wraps
+      diff[a.start] += 1;
+      diff[n] -= 1;
+      diff[0] += 1;
+      diff[a.start + a.len - n] -= 1;
+    }
+  }
+  std::int32_t run = 0;
+  for (std::uint32_t e = 0; e < n; ++e) {
+    run += diff[e];
+    load[e] = static_cast<std::uint32_t>(run);
+  }
+  return load;
+}
+
+bool is_exact_tiling(const Ring& r, const std::vector<Arc>& arcs) {
+  if (total_length(arcs) != r.size()) return false;
+  const auto load = edge_load(r, arcs);
+  return std::all_of(load.begin(), load.end(),
+                     [](std::uint32_t c) { return c == 1; });
+}
+
+std::uint32_t max_load(const Ring& r, const std::vector<Arc>& arcs) {
+  const auto load = edge_load(r, arcs);
+  return load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+}
+
+std::uint64_t total_length(const std::vector<Arc>& arcs) {
+  std::uint64_t s = 0;
+  for (const Arc& a : arcs) s += a.len;
+  return s;
+}
+
+}  // namespace ccov::ring

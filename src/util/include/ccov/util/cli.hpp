@@ -1,0 +1,30 @@
+#pragma once
+/// \file cli.hpp
+/// Tiny flag parser (--name=value / --name value / --flag) shared by the
+/// example and table executables.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ccov::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+
+  /// Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ccov::util

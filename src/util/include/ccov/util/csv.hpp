@@ -1,0 +1,41 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV writer: experiment harnesses can dump machine-readable rows
+/// next to the human-readable tables (used to plot the "figures").
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ccov::util {
+
+class CsvWriter {
+ public:
+  /// Opens \p path for writing and emits the header line.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  template <typename... Ts>
+  void write(const Ts&... vals) {
+    write_row({cell(vals)...});
+  }
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  template <typename T>
+  static std::string cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+  static std::string escape(const std::string& s);
+
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace ccov::util

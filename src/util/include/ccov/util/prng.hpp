@@ -1,0 +1,78 @@
+#pragma once
+/// \file prng.hpp
+/// Deterministic, fast pseudo-random number generation (SplitMix64 seeding +
+/// xoshiro256**). Used by randomized tests, workload generators and the
+/// failure simulator so that every experiment is reproducible from a seed.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace ccov::util {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — public-domain generator by Blackman & Vigna.
+/// Satisfies UniformRandomBitGenerator so it can drive <random> adaptors.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // Rejection-free approximation is fine for our workloads; use 128-bit
+    // multiply to avoid modulo bias at the scales we care about.
+    const auto x = (*this)();
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace ccov::util

@@ -1,0 +1,51 @@
+#pragma once
+/// \file table.hpp
+/// Aligned console table printer. Every experiment harness in bench/ emits
+/// its rows through this class so the reproduced "paper tables" share one
+/// consistent format.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccov::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the row must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format arbitrary streamable values into a row.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    add_row({to_cell(vals)...});
+  }
+
+  /// Render with column alignment, a header rule and an optional title.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_same_v<T, std::string>) {
+      return v;
+    } else if constexpr (std::is_convertible_v<T, const char*>) {
+      return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return format_double(static_cast<double>(v));
+    } else {
+      return std::to_string(v);
+    }
+  }
+  static std::string format_double(double v);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccov::util

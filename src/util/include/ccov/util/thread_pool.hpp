@@ -1,0 +1,53 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A small fixed-size thread pool with a parallel_for helper. Benchmark
+/// sweeps and property tests over many ring sizes use it to exploit all
+/// cores; the combinatorial kernels themselves stay single-threaded and
+/// deterministic.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ccov::util {
+
+class ThreadPool {
+ public:
+  /// \p threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; tasks must not throw (they are run detached from any
+  /// future; exceptions would terminate).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [begin, end) across the pool, blocking until done.
+/// Indices are chunked to limit queue overhead.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace ccov::util

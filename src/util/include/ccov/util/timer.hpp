@@ -1,0 +1,29 @@
+#pragma once
+/// \file timer.hpp
+/// Monotonic wall-clock stopwatch for coarse measurements in table harnesses
+/// (google-benchmark is used for the statistically careful measurements).
+
+#include <chrono>
+
+namespace ccov::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ccov::util

@@ -1,0 +1,47 @@
+#include "ccov/util/cli.hpp"
+
+#include <cstdlib>
+
+namespace ccov::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(a));
+      continue;
+    }
+    a = a.substr(2);
+    auto eq = a.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = a.substr(0, eq);
+      const std::string value = a.substr(eq + 1);
+      flags_[key] = value;
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      const std::string value = argv[i + 1];
+      ++i;
+      flags_[a] = value;
+    } else {
+      flags_[a] = "1";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace ccov::util

@@ -1,0 +1,71 @@
+#include "ccov/util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ccov::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ must be set
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t span = end - begin;
+  const std::size_t chunks = std::min(span, pool.size() * 4);
+  const std::size_t step = (span + chunks - 1) / chunks;
+  for (std::size_t lo = begin; lo < end; lo += step) {
+    const std::size_t hi = std::min(end, lo + step);
+    pool.submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace ccov::util

@@ -1,0 +1,60 @@
+#pragma once
+/// \file network.hpp
+/// The WDM ring network: physical ring + a DRC covering deployed as
+/// independent protected sub-networks, one wavelength pair per cycle
+/// (working + spare), as described in the paper's survivability scheme.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ccov/covering/cover.hpp"
+#include "ccov/covering/drc.hpp"
+#include "ccov/ring/ring.hpp"
+#include "ccov/wdm/instance.hpp"
+
+namespace ccov::wdm {
+
+/// One deployed sub-network I_k: a DRC cycle, its routing (arcs tiling the
+/// ring) and its wavelength index.
+struct Subnetwork {
+  covering::Cycle cycle;
+  std::vector<ring::Arc> routing;  ///< one arc per request, in cycle order
+  std::uint32_t wavelength = 0;    ///< working wavelength (spare = +1 by
+                                   ///< convention)
+};
+
+/// A survivable WDM ring built from a DRC covering. Construction fails
+/// (throws std::invalid_argument) if any cycle violates the DRC or the
+/// covering misses a request of the instance.
+class WdmRingNetwork {
+ public:
+  WdmRingNetwork(std::uint32_t n, const covering::RingCover& cover,
+                 const Instance& instance);
+
+  std::uint32_t nodes() const { return ring_.size(); }
+  const ring::Ring& topology() const { return ring_; }
+  const std::vector<Subnetwork>& subnetworks() const { return subs_; }
+
+  /// Number of wavelengths used (2 per sub-network: working + spare).
+  std::uint32_t wavelengths() const {
+    return static_cast<std::uint32_t>(2 * subs_.size());
+  }
+
+  /// ADMs: each sub-network terminates traffic at each of its nodes.
+  std::uint64_t adm_count() const;
+
+  /// Optical transit (pass-through) count: nodes a wavelength crosses
+  /// without add/drop. On a ring every sub-network's routing tiles the
+  /// whole ring, so each cycle transits n - |cycle| nodes.
+  std::uint64_t transit_count() const;
+
+  /// The sub-network whose routing carries the request {u, v}, if any.
+  std::optional<std::size_t> serving_subnetwork(Vertex u, Vertex v) const;
+
+ private:
+  ring::Ring ring_;
+  std::vector<Subnetwork> subs_;
+};
+
+}  // namespace ccov::wdm

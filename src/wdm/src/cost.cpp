@@ -1,0 +1,21 @@
+#include "ccov/wdm/cost.hpp"
+
+namespace ccov::wdm {
+
+CostBreakdown evaluate_cost(const WdmRingNetwork& net, const CostModel& model) {
+  CostBreakdown b;
+  b.subnetworks = net.subnetworks().size();
+  b.adms = net.adm_count();
+  b.wavelengths = net.wavelengths();
+  b.transit = net.transit_count();
+  // Each sub-network lights the full ring on its working wavelength (the
+  // routing tiles the ring) and reserves the full ring on the spare.
+  b.lit_hops = static_cast<std::uint64_t>(2 * net.nodes()) * b.subnetworks;
+  b.total = model.adm_cost * static_cast<double>(b.adms) +
+            model.wavelength_cost * static_cast<double>(b.wavelengths) +
+            model.transit_cost * static_cast<double>(b.transit) +
+            model.regen_cost * static_cast<double>(b.lit_hops);
+  return b;
+}
+
+}  // namespace ccov::wdm

@@ -1,0 +1,15 @@
+#include "ccov/wdm/instance.hpp"
+
+#include "ccov/graph/generators.hpp"
+
+namespace ccov::wdm {
+
+Instance Instance::all_to_all(std::uint32_t n) {
+  return Instance(graph::complete_graph(n));
+}
+
+Instance Instance::uniform(std::uint32_t n, std::uint32_t lambda) {
+  return Instance(graph::complete_multigraph(n, lambda));
+}
+
+}  // namespace ccov::wdm

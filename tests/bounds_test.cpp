@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "ccov/covering/bounds.hpp"
+#include "ccov/ring/routing.hpp"
+#include "ccov/util/ints.hpp"
+
+using namespace ccov::covering;
+
+TEST(Rho, Theorem1Values) {
+  // n = 2p+1 -> p(p+1)/2.
+  EXPECT_EQ(rho(3), 1u);
+  EXPECT_EQ(rho(5), 3u);
+  EXPECT_EQ(rho(7), 6u);
+  EXPECT_EQ(rho(9), 10u);
+  EXPECT_EQ(rho(11), 15u);
+  EXPECT_EQ(rho(101), 50u * 51u / 2u);
+}
+
+TEST(Rho, Theorem2Values) {
+  // n = 2p -> ceil((p^2+1)/2).
+  EXPECT_EQ(rho(6), 5u);
+  EXPECT_EQ(rho(8), 9u);
+  EXPECT_EQ(rho(10), 13u);
+  EXPECT_EQ(rho(12), 19u);
+  EXPECT_EQ(rho(14), 25u);
+  EXPECT_EQ(rho(100), (50u * 50u + 2u) / 2u);
+}
+
+TEST(Rho, PaperK4Example) {
+  // The paper's in-text K_4 example uses 3 cycles; the formula agrees.
+  EXPECT_EQ(rho(4), 3u);
+}
+
+TEST(Rho, RejectsTinyN) { EXPECT_THROW(rho(2), std::invalid_argument); }
+
+TEST(Bounds, CapacityMatchesLoadFormula) {
+  for (std::uint32_t n = 3; n <= 60; ++n) {
+    EXPECT_EQ(capacity_lower_bound(n),
+              ccov::util::ceil_div<std::uint64_t>(
+                  ccov::ring::all_to_all_min_load(n), n))
+        << n;
+  }
+}
+
+TEST(Bounds, CapacityTightForOdd) {
+  for (std::uint32_t n = 3; n <= 101; n += 2)
+    EXPECT_EQ(capacity_lower_bound(n), rho(n)) << n;
+}
+
+TEST(Bounds, ParityAddsOneForEven) {
+  for (std::uint32_t n = 6; n <= 100; n += 2) {
+    EXPECT_EQ(parity_lower_bound(n), rho(n)) << n;
+    EXPECT_GE(parity_lower_bound(n), capacity_lower_bound(n)) << n;
+    // The refinement gains exactly 1 when p is even (capacity bound is
+    // ceil(p^2/2) and rho is p^2/2 + 1), and 0 when p is odd.
+    const std::uint64_t p = n / 2;
+    const std::uint64_t gain = parity_lower_bound(n) - capacity_lower_bound(n);
+    EXPECT_EQ(gain, p % 2 == 0 ? 1u : 0u) << n;
+  }
+}
+
+TEST(Bounds, ParityIsCapacityForOdd) {
+  for (std::uint32_t n = 3; n <= 99; n += 2)
+    EXPECT_EQ(parity_lower_bound(n), capacity_lower_bound(n));
+}
+
+TEST(Composition, Theorem1Composition) {
+  for (std::uint32_t n = 3; n <= 101; n += 2) {
+    const std::uint64_t p = (n - 1) / 2;
+    const auto comp = theorem_composition(n);
+    EXPECT_EQ(comp.c3, p);
+    EXPECT_EQ(comp.c4, p * (p - 1) / 2);
+    EXPECT_EQ(comp.c3 + comp.c4, rho(n)) << n;
+  }
+}
+
+TEST(Composition, Theorem2CompositionMod4) {
+  // n = 4q: 4 C3 + 2q^2-3 C4.
+  for (std::uint32_t q = 2; q <= 20; ++q) {
+    const auto comp = theorem_composition(4 * q);
+    EXPECT_EQ(comp.c3, 4u);
+    EXPECT_EQ(comp.c4, 2ull * q * q - 3);
+    EXPECT_EQ(comp.c3 + comp.c4, rho(4 * q));
+  }
+}
+
+TEST(Composition, Theorem2CompositionMod4Plus2) {
+  // n = 4q+2: 2 C3 + 2q^2+2q-1 C4.
+  for (std::uint32_t q = 1; q <= 20; ++q) {
+    const auto comp = theorem_composition(4 * q + 2);
+    EXPECT_EQ(comp.c3, 2u);
+    EXPECT_EQ(comp.c4, 2ull * q * q + 2 * q - 1);
+    EXPECT_EQ(comp.c3 + comp.c4, rho(4 * q + 2));
+  }
+}
+
+TEST(Composition, SlotCountIdentityOdd) {
+  // 3*C3 + 4*C4 must equal the number of chords of K_n for odd n (the
+  // covering is exact: no slack in the capacity bound).
+  for (std::uint32_t n = 3; n <= 61; n += 2) {
+    const auto comp = theorem_composition(n);
+    EXPECT_EQ(3 * comp.c3 + 4 * comp.c4,
+              static_cast<std::uint64_t>(n) * (n - 1) / 2)
+        << n;
+  }
+}
+
+TEST(Composition, SlotCountSlackEven) {
+  // For even n the theorem covering has exactly p duplicate coverage slots
+  // (3*C3 + 4*C4 = chords + p), consistent with the capacity slack.
+  for (std::uint32_t n = 6; n <= 60; n += 2) {
+    const auto comp = theorem_composition(n);
+    const std::uint64_t p = n / 2;
+    const std::uint64_t slots = 3 * comp.c3 + 4 * comp.c4;
+    const std::uint64_t chords = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    EXPECT_EQ(slots - chords, p) << "n=" << n;
+  }
+}
+
+// Monotonicity property: rho grows with n.
+TEST(Rho, Monotone) {
+  for (std::uint32_t n = 4; n <= 300; ++n)
+    EXPECT_LE(rho(n - 1), rho(n)) << n;
+}
+
+// Growth shape: rho(n) ~ n^2/8.
+TEST(Rho, QuadraticGrowthShape) {
+  for (std::uint32_t n : {51u, 101u, 201u, 401u}) {
+    const double ratio = static_cast<double>(rho(n)) /
+                         (static_cast<double>(n) * n / 8.0);
+    EXPECT_NEAR(ratio, 1.0, 0.05) << n;
+  }
+}

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "ccov/covering/cover.hpp"
+#include "ccov/graph/generators.hpp"
+
+using namespace ccov::covering;
+
+namespace {
+
+RingCover paper_k4_cover() {
+  return RingCover{4, {{0, 1, 2, 3}, {0, 1, 3}, {0, 2, 3}}};
+}
+
+}  // namespace
+
+TEST(Cover, PaperK4CoverValidates) {
+  const auto rep = validate_cover(paper_k4_cover());
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.uncovered_chords, 0u);
+  EXPECT_EQ(rep.non_drc_cycles, 0u);
+}
+
+TEST(Cover, PaperInvalidCoverRejected) {
+  // The paper's counterexample: two C4s cover K_4's edges but (0,2,3,1)
+  // violates the DRC.
+  RingCover c{4, {{0, 1, 2, 3}, {0, 2, 3, 1}}};
+  const auto rep = validate_cover(c);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.non_drc_cycles, 1u);
+}
+
+TEST(Cover, MissingChordDetected) {
+  RingCover c{4, {{0, 1, 2, 3}, {0, 1, 3}}};  // chord (0,2) uncovered
+  const auto rep = validate_cover(c);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.uncovered_chords, 1u);
+  EXPECT_NE(rep.error.find("(0,2)"), std::string::npos);
+}
+
+TEST(Cover, DuplicateCoverageCounted) {
+  const auto base = validate_cover(paper_k4_cover());
+  RingCover c{4, {{0, 1, 2, 3}, {0, 1, 3}, {0, 2, 3}, {0, 1, 2}}};
+  const auto rep = validate_cover(c);
+  EXPECT_TRUE(rep.ok);
+  // The extra triangle re-covers exactly its 3 chords.
+  EXPECT_EQ(rep.duplicate_coverage, base.duplicate_coverage + 3);
+}
+
+TEST(Cover, StructurallyInvalidCycleReported) {
+  RingCover c{5, {{0, 1, 1}}};
+  const auto rep = validate_cover(c);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("invalid cycle"), std::string::npos);
+}
+
+TEST(Cover, CompositionCounts) {
+  const auto comp = composition(paper_k4_cover());
+  EXPECT_EQ(comp[3], 2u);
+  EXPECT_EQ(comp[4], 1u);
+  EXPECT_EQ(count_c3(paper_k4_cover()), 2u);
+  EXPECT_EQ(count_c4(paper_k4_cover()), 1u);
+}
+
+TEST(Cover, ValidateAgainstPartialDemand) {
+  ccov::graph::Graph demand(6);
+  demand.add_edge(0, 3);
+  demand.add_edge(1, 2);
+  RingCover c{6, {{0, 1, 2, 3}}};  // covers (0,3) as cycle edge? edges: 01,12,23,30
+  const auto rep = validate_cover_against(c, demand);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(Cover, ValidateAgainstMultigraphDemand) {
+  const auto demand = ccov::graph::complete_multigraph(4, 2);
+  // Single cover of K_4 does not satisfy lambda = 2.
+  const auto rep = validate_cover_against(paper_k4_cover(), demand);
+  EXPECT_FALSE(rep.ok);
+  // Two copies do.
+  RingCover doubled = paper_k4_cover();
+  for (const auto& cyc : paper_k4_cover().cycles) doubled.cycles.push_back(cyc);
+  EXPECT_TRUE(validate_cover_against(doubled, demand).ok);
+}
+
+TEST(Cover, SummaryMentionsValidity) {
+  EXPECT_NE(summary(paper_k4_cover()).find("valid"), std::string::npos);
+}
+
+TEST(Cover, TinyRingRejected) {
+  RingCover c{2, {}};
+  EXPECT_FALSE(validate_cover(c).ok);
+}

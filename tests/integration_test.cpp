@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "ccov/baselines/triple_cover.hpp"
+#include "ccov/covering/bounds.hpp"
+#include "ccov/covering/construct.hpp"
+#include "ccov/covering/greedy.hpp"
+#include "ccov/protection/simulator.hpp"
+#include "ccov/wdm/cost.hpp"
+#include "ccov/wdm/network.hpp"
+
+using namespace ccov;
+
+// End-to-end: design a survivable WDM ring exactly as the paper describes
+// and check every cross-module invariant on the way.
+class EndToEnd : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EndToEnd, DesignFlow) {
+  const std::uint32_t n = GetParam();
+
+  // 1. Optimal DRC covering.
+  const auto cover = covering::build_optimal_cover(n);
+  const auto rep = covering::validate_cover(cover);
+  ASSERT_TRUE(rep.ok) << rep.error;
+
+  // 2. Bounds bracket the construction.
+  EXPECT_GE(cover.size(), covering::parity_lower_bound(n));
+  if (n % 2 == 1 || n <= 12) {
+    EXPECT_EQ(cover.size(), covering::rho(n));
+  }
+
+  // 3. Deploy as a WDM network.
+  const auto inst = wdm::Instance::all_to_all(n);
+  wdm::WdmRingNetwork net(n, cover, inst);
+  EXPECT_EQ(net.subnetworks().size(), cover.size());
+
+  // 4. Cost model is consistent.
+  const auto cost = wdm::evaluate_cost(net, wdm::CostModel{});
+  EXPECT_EQ(cost.adms + cost.transit,
+            static_cast<std::uint64_t>(n) * cover.size());
+
+  // 5. Survive every single-link failure by loop-back.
+  for (std::uint32_t e = 0; e < n; ++e) {
+    const auto r = protection::simulate_loopback(net, {e});
+    EXPECT_EQ(r.affected_requests, cover.size());
+    EXPECT_GT(r.recovery_time_ms, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, EndToEnd,
+                         ::testing::Values(5, 6, 7, 8, 9, 10, 11, 12, 13, 15,
+                                           16, 21));
+
+TEST(CrossCheck, GreedyNeverBeatsOptimalOnCertifiedSizes) {
+  for (std::uint32_t n = 4; n <= 13; ++n) {
+    const auto greedy = covering::greedy_cover(n);
+    EXPECT_GE(greedy.size(), covering::rho(n)) << n;
+  }
+}
+
+TEST(CrossCheck, OptimalBeatsClassicalTripleCovering) {
+  // The DRC covering uses mixed C3/C4 and needs fewer cycles than the
+  // classical triangle covering for every n >= 8 (count comparison).
+  for (std::uint32_t n = 8; n <= 24; ++n) {
+    const auto cover = covering::build_optimal_cover(n);
+    EXPECT_LE(cover.size(), baselines::triple_covering_number(n)) << n;
+  }
+}
+
+TEST(CrossCheck, ProtectionCheaperThanRestorationInSwitches) {
+  // Loop-back switches 2 per sub-network ~ n^2/4; restoration switches 2
+  // per affected request ~ n^2/8 per failure... the relevant claim is
+  // TIME: pre-planned protection recovers faster. Check on a mid-size ring.
+  const std::uint32_t n = 14;
+  const auto cover = covering::build_optimal_cover(n);
+  const auto inst = wdm::Instance::all_to_all(n);
+  wdm::WdmRingNetwork net(n, cover, inst);
+  const auto lb = protection::simulate_loopback(net, {0});
+  const auto rs = protection::simulate_restoration(n, inst, {0});
+  EXPECT_LT(lb.recovery_time_ms, rs.recovery_time_ms);
+}

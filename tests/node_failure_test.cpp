@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ccov/covering/construct.hpp"
+#include "ccov/protection/node_failure.hpp"
+
+using namespace ccov;
+using namespace ccov::protection;
+
+namespace {
+
+wdm::WdmRingNetwork make_net(std::uint32_t n) {
+  return wdm::WdmRingNetwork(n, covering::build_optimal_cover(n),
+                             wdm::Instance::all_to_all(n));
+}
+
+}  // namespace
+
+TEST(NodeFailure, LostRequestsAreTwicePerMemberCycle) {
+  // A failed node loses exactly 2 requests in every cycle containing it.
+  const std::uint32_t n = 11;
+  const auto net = make_net(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::size_t member_cycles = 0;
+    for (const auto& s : net.subnetworks())
+      if (std::find(s.cycle.begin(), s.cycle.end(), v) != s.cycle.end())
+        ++member_cycles;
+    const auto rep = simulate_node_failure(net, NodeFailure{v});
+    EXPECT_EQ(rep.lost_requests, 2 * member_cycles) << "v=" << v;
+  }
+}
+
+TEST(NodeFailure, EverySubnetworkReacts) {
+  // Each sub-network either loses traffic (node is a member) or reroutes
+  // its transit request — never neither.
+  const std::uint32_t n = 9;
+  const auto net = make_net(n);
+  const auto rep = simulate_node_failure(net, NodeFailure{4});
+  EXPECT_EQ(rep.lost_requests / 2 + rep.rerouted_requests,
+            net.subnetworks().size());
+}
+
+TEST(NodeFailure, MemberCountAcrossCycles) {
+  // Sum over vertices of member-cycle counts = sum of cycle sizes.
+  const std::uint32_t n = 10;
+  const auto net = make_net(n);
+  std::uint64_t lost_total = 0;
+  for (std::uint32_t v = 0; v < n; ++v)
+    lost_total += simulate_node_failure(net, NodeFailure{v}).lost_requests;
+  std::uint64_t sizes = 0;
+  for (const auto& s : net.subnetworks()) sizes += s.cycle.size();
+  EXPECT_EQ(lost_total, 2 * sizes);
+}
+
+TEST(NodeFailure, RecoveryTimePositiveAndBounded) {
+  const std::uint32_t n = 13;
+  const auto net = make_net(n);
+  const TimingModel t;
+  const auto rep = simulate_node_failure(net, NodeFailure{0}, t);
+  EXPECT_GT(rep.recovery_time_ms, 0.0);
+  EXPECT_LE(rep.recovery_time_ms,
+            t.detect_ms + 2 * t.per_switch_ms + t.per_hop_ms * n);
+}
+
+TEST(NodeFailure, AverageIsConsistent) {
+  const std::uint32_t n = 8;
+  const auto net = make_net(n);
+  const auto avg = average_over_node_failures(net);
+  EXPECT_GT(avg.lost_requests + avg.rerouted_requests, 0u);
+  EXPECT_GT(avg.switching_actions, 0u);
+}
+
+TEST(NodeFailure, TransitRerouteUsesComplement) {
+  // On a node failure, rerouted requests detour by n - 2*len > 0 hops.
+  const std::uint32_t n = 12;
+  const auto net = make_net(n);
+  const auto rep = simulate_node_failure(net, NodeFailure{5});
+  if (rep.rerouted_requests > 0) {
+    EXPECT_GT(rep.reroute_extra_hops, 0u);
+  }
+}

@@ -1,0 +1,39 @@
+#include <gtest/gtest.h>
+
+#include "ccov/covering/bounds.hpp"
+#include "ccov/covering/solver.hpp"
+
+using namespace ccov::covering;
+
+class ParallelSolverParam : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ParallelSolverParam, AgreesWithSerialOnFeasibility) {
+  const std::uint32_t n = GetParam();
+  const auto par = solve_with_budget_parallel(n, rho(n));
+  ASSERT_TRUE(par.found) << "n=" << n;
+  const auto rep = validate_cover(par.cover);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_LE(par.cover.size(), rho(n));
+}
+
+TEST_P(ParallelSolverParam, AgreesWithSerialOnInfeasibility) {
+  const std::uint32_t n = GetParam();
+  if (n < 4) return;
+  const auto par = solve_with_budget_parallel(n, rho(n) - 1);
+  EXPECT_FALSE(par.found) << "n=" << n;
+  EXPECT_TRUE(par.exhausted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Small, ParallelSolverParam,
+                         ::testing::Values(4, 5, 6, 7, 8));
+
+TEST(ParallelSolver, SingleThreadStillWorks) {
+  const auto res = solve_with_budget_parallel(6, rho(6), {}, 1);
+  EXPECT_TRUE(res.found);
+}
+
+TEST(ParallelSolver, ZeroBudgetInfeasible) {
+  const auto res = solve_with_budget_parallel(5, 0);
+  EXPECT_FALSE(res.found);
+  EXPECT_TRUE(res.exhausted);
+}

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "ccov/covering/bounds.hpp"
+#include "ccov/covering/construct.hpp"
+#include "ccov/protection/simulator.hpp"
+#include <algorithm>
+
+#include "ccov/ring/routing.hpp"
+
+using namespace ccov;
+using namespace ccov::protection;
+
+namespace {
+
+wdm::WdmRingNetwork make_net(std::uint32_t n) {
+  return wdm::WdmRingNetwork(n, covering::build_optimal_cover(n),
+                             wdm::Instance::all_to_all(n));
+}
+
+}  // namespace
+
+TEST(Loopback, EverySubnetworkAffectedExactlyOnce) {
+  // Each sub-network's routing tiles the ring, so any single link failure
+  // hits exactly one request per sub-network.
+  const std::uint32_t n = 11;
+  const auto net = make_net(n);
+  for (std::uint32_t e = 0; e < n; ++e) {
+    const auto rep = simulate_loopback(net, LinkFailure{e});
+    EXPECT_EQ(rep.affected_requests, net.subnetworks().size()) << "e=" << e;
+    EXPECT_EQ(rep.switching_actions, 2 * net.subnetworks().size());
+  }
+}
+
+TEST(Loopback, DetourStaysWithinRing) {
+  const std::uint32_t n = 12;
+  const auto net = make_net(n);
+  const auto rep = simulate_loopback(net, LinkFailure{3});
+  EXPECT_LE(rep.max_detour_hops, static_cast<std::uint64_t>(n) - 1);
+  EXPECT_GT(rep.max_detour_hops, 0u);
+}
+
+TEST(Loopback, RecoveryTimeBoundedByParallelism) {
+  // Loop-back recovers sub-networks in parallel: time is independent of
+  // how many sub-networks exist (only of the worst detour).
+  const TimingModel t;
+  const auto small = simulate_loopback(make_net(7), LinkFailure{0}, t);
+  const auto large = simulate_loopback(make_net(15), LinkFailure{0}, t);
+  EXPECT_LT(large.recovery_time_ms,
+            t.detect_ms + 2 * t.per_switch_ms + t.per_hop_ms * 15);
+  EXPECT_GT(large.recovery_time_ms, 0.0);
+  EXPECT_GT(small.recovery_time_ms, 0.0);
+}
+
+TEST(Restoration, AffectedEqualsLoad) {
+  // Affected requests = minor-routing load on the failed edge; by symmetry
+  // equal for all edges.
+  const std::uint32_t n = 9;  // odd: minor routing is rotation-symmetric
+  const auto inst = wdm::Instance::all_to_all(n);
+  const auto r0 = simulate_restoration(n, inst, LinkFailure{0});
+  const auto r5 = simulate_restoration(n, inst, LinkFailure{5});
+  EXPECT_EQ(r0.affected_requests, r5.affected_requests);
+  EXPECT_GT(r0.affected_requests, 0u);
+}
+
+TEST(Restoration, SlowerThanLoopbackAtScale) {
+  // Restoration signalling is sequential per request; protection is
+  // pre-planned. The shape claim of the paper's motivation.
+  const std::uint32_t n = 15;
+  const auto net = make_net(n);
+  const auto inst = wdm::Instance::all_to_all(n);
+  const auto lb = simulate_loopback(net, LinkFailure{2});
+  const auto rs = simulate_restoration(n, inst, LinkFailure{2});
+  EXPECT_GT(rs.recovery_time_ms, lb.recovery_time_ms);
+}
+
+TEST(WholeRing, SwitchesScaleWithLoad) {
+  const std::uint32_t n = 12;
+  const auto inst = wdm::Instance::all_to_all(n);
+  const auto rep = simulate_whole_ring(n, inst, LinkFailure{0});
+  // Wavelengths = max edge load of the minor routing.
+  const auto load = ccov::ring::all_to_all_edge_load(n);
+  const std::uint64_t expected_wl =
+      *std::max_element(load.begin(), load.end());
+  EXPECT_EQ(rep.switching_actions, 2 * expected_wl);
+}
+
+TEST(Averaging, MeanOverFailuresIsSymmetric) {
+  const std::uint32_t n = 9;
+  const auto net = make_net(n);
+  const auto avg = average_over_failures(
+      n, [&](LinkFailure f) { return simulate_loopback(net, f); });
+  EXPECT_EQ(avg.affected_requests, net.subnetworks().size());
+}
+
+TEST(Loopback, ExtraHopsConsistency) {
+  // Reroute extra hops = sum over affected requests of (n - 2*arc_len);
+  // every term is positive because arcs are shorter than the ring.
+  const std::uint32_t n = 13;
+  const auto rep = simulate_loopback(make_net(n), LinkFailure{7});
+  EXPECT_GT(rep.reroute_extra_hops, 0u);
+  EXPECT_LT(rep.reroute_extra_hops,
+            rep.affected_requests * static_cast<std::uint64_t>(n));
+}

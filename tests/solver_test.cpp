@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "ccov/covering/bounds.hpp"
+#include "ccov/covering/solver.hpp"
+
+using namespace ccov::covering;
+
+// The solver plus the matching lower bound computationally certify the
+// rho(n) values of Theorems 1 and 2 for small n: a covering with rho(n)
+// cycles exists (solver witness) and none smaller can (parity bound, and
+// for extra assurance exhaustive infeasibility at rho-1 on the smallest
+// cases).
+
+class SolverParam : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SolverParam, FindsCoveringAtRho) {
+  const std::uint32_t n = GetParam();
+  const auto res = solve_with_budget(n, rho(n));
+  ASSERT_TRUE(res.found) << "n=" << n;
+  const auto rep = validate_cover(res.cover);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_LE(res.cover.size(), rho(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Small, SolverParam,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 9));
+
+class SolverInfeasibleParam : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(SolverInfeasibleParam, NoCoveringBelowRho) {
+  const std::uint32_t n = GetParam();
+  const auto res = solve_with_budget(n, rho(n) - 1);
+  EXPECT_FALSE(res.found) << "n=" << n;
+  EXPECT_TRUE(res.exhausted) << "search must be a proof, not a timeout";
+}
+
+INSTANTIATE_TEST_SUITE_P(Small, SolverInfeasibleParam,
+                         ::testing::Values(4, 5, 6, 7, 8));
+
+TEST(Solver, MinimumMatchesRhoOnK7) {
+  const auto min = solve_minimum(7);
+  ASSERT_TRUE(min.has_value());
+  EXPECT_EQ(min->first, rho(7));
+  EXPECT_TRUE(validate_cover(min->second).ok);
+}
+
+TEST(Solver, MinimumMatchesRhoOnK8) {
+  const auto min = solve_minimum(8);
+  ASSERT_TRUE(min.has_value());
+  EXPECT_EQ(min->first, rho(8));
+}
+
+TEST(Solver, NodeBudgetReported) {
+  SolverOptions opts;
+  opts.max_nodes = 10;  // absurdly small: must hit the budget on K_8
+  const auto res = solve_with_budget(8, rho(8) - 1, opts);
+  EXPECT_FALSE(res.found);
+  EXPECT_FALSE(res.exhausted);
+}
+
+TEST(Solver, TrivialK3) {
+  const auto res = solve_with_budget(3, 1);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.cover.cycles.size(), 1u);
+  EXPECT_EQ(res.cover.cycles[0].size(), 3u);
+}

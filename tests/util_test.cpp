@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "ccov/util/cli.hpp"
+#include "ccov/util/csv.hpp"
+#include "ccov/util/ints.hpp"
+#include "ccov/util/prng.hpp"
+#include "ccov/util/table.hpp"
+#include "ccov/util/thread_pool.hpp"
+#include "ccov/util/timer.hpp"
+
+namespace cu = ccov::util;
+
+TEST(Ints, CeilDivExact) { EXPECT_EQ(cu::ceil_div(10, 5), 2); }
+TEST(Ints, CeilDivRoundsUp) { EXPECT_EQ(cu::ceil_div(11, 5), 3); }
+TEST(Ints, CeilDivZeroNumerator) { EXPECT_EQ(cu::ceil_div(0, 7), 0); }
+TEST(Ints, ModPosPositive) { EXPECT_EQ(cu::mod_pos(7, 5), 2); }
+TEST(Ints, ModPosNegative) { EXPECT_EQ(cu::mod_pos(-3, 5), 2); }
+TEST(Ints, ModPosMultiple) { EXPECT_EQ(cu::mod_pos(-10, 5), 0); }
+TEST(Ints, Gcd) { EXPECT_EQ(cu::gcd_of(12u, 18u), 6u); }
+TEST(Ints, GcdCoprime) { EXPECT_EQ(cu::gcd_of(7u, 9u), 1u); }
+TEST(Ints, GcdWithZero) { EXPECT_EQ(cu::gcd_of(0u, 5u), 5u); }
+TEST(Ints, Choose2) {
+  EXPECT_EQ(cu::choose2<std::uint64_t>(0), 0u);
+  EXPECT_EQ(cu::choose2<std::uint64_t>(1), 0u);
+  EXPECT_EQ(cu::choose2<std::uint64_t>(5), 10u);
+  EXPECT_EQ(cu::choose2<std::uint64_t>(100), 4950u);
+}
+
+TEST(Prng, Deterministic) {
+  cu::Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+TEST(Prng, SeedsDiffer) {
+  cu::Xoshiro256 a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 10; ++i) diff += a() != b();
+  EXPECT_GT(diff, 0);
+}
+TEST(Prng, BelowInRange) {
+  cu::Xoshiro256 g(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(g.below(17), 17u);
+}
+TEST(Prng, Uniform01Range) {
+  cu::Xoshiro256 g(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = g.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+TEST(Prng, BelowRoughlyUniform) {
+  cu::Xoshiro256 g(11);
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 40000; ++i) counts[g.below(4)]++;
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Table, RendersAligned) {
+  cu::Table t({"n", "value"});
+  t.add(5, "abc");
+  t.add(1000, "x");
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("1000"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+TEST(Table, RejectsWidthMismatch) {
+  cu::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+TEST(Table, FormatsDoubles) {
+  cu::Table t({"x"});
+  t.add(1.23456);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.235"), std::string::npos);
+}
+
+TEST(Csv, WritesEscapedCells) {
+  const std::string path = testing::TempDir() + "ccov_csv_test.csv";
+  {
+    cu::CsvWriter w(path, {"a", "b"});
+    w.write("x,y", 3);
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,b");
+  EXPECT_EQ(line2, "\"x,y\",3");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--n=12", "--name=ring"};
+  cu::Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 12);
+  EXPECT_EQ(cli.get("name", ""), "ring");
+}
+TEST(Cli, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--n", "7"};
+  cu::Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 7);
+}
+TEST(Cli, BooleanFlagAndDefault) {
+  const char* argv[] = {"prog", "--verbose"};
+  cu::Cli cli(2, argv);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+}
+TEST(Cli, Positional) {
+  const char* argv[] = {"prog", "input.txt", "--k=3", "out.txt"};
+  cu::Cli cli(4, argv);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--x=2.5"};
+  cu::Cli cli(2, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 2.5);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  cu::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { counter++; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+TEST(ThreadPool, ParallelForCoversRange) {
+  cu::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(50);
+  cu::parallel_for(pool, 10, 40, [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_EQ(hits[i].load(), (i >= 10 && i < 40) ? 1 : 0) << i;
+}
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  cu::ThreadPool pool(2);
+  cu::parallel_for(pool, 5, 5, [](std::size_t) { FAIL(); });
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  cu::Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.micros(), 0.0);
+}
