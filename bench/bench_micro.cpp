@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "ccov/covering/bounds.hpp"
 #include "ccov/covering/construct.hpp"
 #include "ccov/covering/drc.hpp"
@@ -85,3 +88,33 @@ static void BM_RhoFormula(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RhoFormula);
+
+// Custom main so CI smoke runs can pass `--quick`: it caps measurement time
+// far below the default so the full suite finishes in seconds. The value's
+// spelling is version-dependent (see bench/CMakeLists.txt).
+#ifndef CCOV_QUICK_MIN_TIME
+#define CCOV_QUICK_MIN_TIME "0.001s"
+#endif
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  static char quick_min_time[] = "--benchmark_min_time=" CCOV_QUICK_MIN_TIME;
+  bool quick = false;
+  bool has_min_time = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+      continue;
+    }
+    if (arg.starts_with("--benchmark_min_time")) has_min_time = true;
+    args.push_back(argv[i]);
+  }
+  if (quick && !has_min_time) args.push_back(quick_min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

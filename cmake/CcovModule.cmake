@@ -1,0 +1,61 @@
+# Helper for declaring one ccov library module.
+#
+#   ccov_add_module(<name>
+#     SOURCES <src/a.cpp> ...
+#     [DEPS <ccov::other> ... ]
+#     [LINK_PRIVATE <lib> ...])
+#
+# Creates the static library target `ccov_<name>` with alias `ccov::<name>`,
+# exporting `include/` as its public include directory. DEPS are PUBLIC so
+# that a module's public headers may include its dependencies' headers;
+# consumers must still link the modules whose headers they include directly.
+function(ccov_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS;LINK_PRIVATE" ${ARGN})
+
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "ccov_add_module(${name}): SOURCES is required")
+  endif()
+
+  add_library(ccov_${name} STATIC ${ARG_SOURCES})
+  add_library(ccov::${name} ALIAS ccov_${name})
+
+  target_include_directories(ccov_${name} PUBLIC
+    $<BUILD_INTERFACE:${CMAKE_CURRENT_SOURCE_DIR}/include>
+    $<INSTALL_INTERFACE:include>)
+
+  target_compile_features(ccov_${name} PUBLIC cxx_std_20)
+
+  if(ARG_DEPS)
+    target_link_libraries(ccov_${name} PUBLIC ${ARG_DEPS})
+  endif()
+  if(ARG_LINK_PRIVATE)
+    target_link_libraries(ccov_${name} PRIVATE ${ARG_LINK_PRIVATE})
+  endif()
+  target_link_libraries(ccov_${name} PRIVATE ccov::build_flags)
+
+  set_target_properties(ccov_${name} PROPERTIES
+    EXPORT_NAME ${name}
+    POSITION_INDEPENDENT_CODE ON)
+endfunction()
+
+# Helper for one-file executables (benches, examples):
+#
+#   ccov_add_executable(<name> DEPS <ccov::mod|lib> ...)
+#
+# Compiles <name>.cpp from the calling directory and links the given deps
+# plus the shared warning flags.
+function(ccov_add_executable name)
+  cmake_parse_arguments(ARG "" "" "DEPS" ${ARGN})
+  add_executable(${name} ${name}.cpp)
+  target_link_libraries(${name} PRIVATE ${ARG_DEPS} ccov::build_flags)
+endfunction()
+
+# Appends DOWNLOAD_EXTRACT_TIMESTAMP to <outvar> when the running CMake
+# understands it (3.24+); older versions would warn on the unknown keyword.
+function(ccov_fetchcontent_extra_args outvar)
+  set(extra "")
+  if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.24)
+    list(APPEND extra DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  endif()
+  set(${outvar} "${extra}" PARENT_SCOPE)
+endfunction()

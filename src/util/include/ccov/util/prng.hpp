@@ -59,8 +59,8 @@ class Xoshiro256 {
     // Rejection-free approximation is fine for our workloads; use 128-bit
     // multiply to avoid modulo bias at the scales we care about.
     const auto x = (*this)();
-    return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(x) * bound) >> 64);
+    __extension__ using uint128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<uint128>(x) * bound) >> 64);
   }
 
   /// Uniform double in [0, 1).

@@ -11,7 +11,7 @@ Cli::Cli(int argc, const char* const* argv) {
       positional_.push_back(std::move(a));
       continue;
     }
-    a = a.substr(2);
+    a.erase(0, 2);
     auto eq = a.find('=');
     if (eq != std::string::npos) {
       const std::string key = a.substr(0, eq);

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Smoke test for the ccov CLI: exercises every subcommand and the
+# --out/--in cover-file round trip. Usage: cli_smoke.sh <path-to-ccov>
+set -euo pipefail
+
+CCOV=${1:?usage: cli_smoke.sh <path-to-ccov>}
+TMPDIR_SMOKE=$(mktemp -d)
+trap 'rm -rf "${TMPDIR_SMOKE}"' EXIT
+COVER_FILE="${TMPDIR_SMOKE}/cover.txt"
+
+fail() { echo "cli_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== ccov usage/help behaviour"
+"${CCOV}" | grep -q "usage:" || fail "no-arg invocation should print usage and exit 0"
+"${CCOV}" help >/dev/null || fail "'ccov help' should exit 0"
+if "${CCOV}" frobnicate >/dev/null 2>&1; then fail "unknown command should exit nonzero"; fi
+
+echo "== ccov bounds --n 13"
+OUT=$("${CCOV}" bounds --n 13)
+echo "${OUT}" | grep -q "rho(n)" || fail "bounds output missing rho(n)"
+echo "${OUT}" | grep -q "capacity bound" || fail "bounds output missing capacity bound"
+
+echo "== ccov cover --n 13 --out"
+"${CCOV}" cover --n 13 --out "${COVER_FILE}" >/dev/null
+[ -s "${COVER_FILE}" ] || fail "cover --out did not write ${COVER_FILE}"
+
+echo "== ccov validate --in (round trip)"
+"${CCOV}" validate --in "${COVER_FILE}" >/dev/null || fail "saved cover failed validation"
+
+echo "== ccov validate rejects a corrupt cover"
+CORRUPT="${TMPDIR_SMOKE}/corrupt.txt"
+head -n 2 "${COVER_FILE}" > "${CORRUPT}"
+if "${CCOV}" validate --in "${CORRUPT}" >/dev/null 2>&1; then
+  fail "truncated cover should fail validation"
+fi
+
+echo "== ccov validate --in missing file exits nonzero"
+if "${CCOV}" validate --in "${TMPDIR_SMOKE}/nope.txt" >/dev/null 2>&1; then
+  fail "missing --in file should exit nonzero"
+fi
+
+echo "== ccov cover (stdout path, no --out)"
+"${CCOV}" cover --n 9 | grep -q "cycle" || fail "cover without --out should print cycles"
+
+echo "== ccov solve --n 7 (serial + parallel agree on found)"
+S=$("${CCOV}" solve --n 7)
+P=$("${CCOV}" solve --n 7 --parallel)
+echo "${S}" | grep -q "found=1" || fail "serial solve n=7 should find a cover"
+echo "${P}" | grep -q "found=1" || fail "parallel solve n=7 should find a cover"
+
+echo "== ccov protect --n 12 --edge 3"
+"${CCOV}" protect --n 12 --edge 3 | grep -q "affected=" || fail "protect output missing report"
+
+echo "cli_smoke: PASS"
