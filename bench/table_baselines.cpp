@@ -5,31 +5,59 @@
 // constraint) and the C4 covering lower bound (ref [2]). Shape: the
 // DRC-optimal needs ~n^2/8 cycles, the classical triple covering ~n^2/6 —
 // mixing C3/C4 under the DRC *beats* triangle-only coverings by a factor
-// approaching 4/3, while pure-C4 coverings sit in between.
+// approaching 4/3, while pure-C4 coverings sit in between. Every cover is
+// produced through the engine's BatchRunner: four requests per n
+// (construct / greedy / triple / c4) fanned across all cores, rows
+// assembled in deterministic order.
 
 #include <iostream>
 
 #include "ccov/baselines/c4_cover.hpp"
 #include "ccov/baselines/emz.hpp"
 #include "ccov/baselines/triple_cover.hpp"
-#include "ccov/covering/bounds.hpp"
-#include "ccov/covering/construct.hpp"
-#include "ccov/covering/greedy.hpp"
+#include "ccov/engine/batch.hpp"
+#include "ccov/engine/engine.hpp"
 #include "ccov/util/table.hpp"
 
 int main() {
   using namespace ccov;
+  namespace eng = ccov::engine;
+
+  std::vector<std::uint32_t> sizes;
+  for (std::uint32_t n = 5; n <= 29; n += 2) sizes.push_back(n);
+
+  // Requests in algorithm-major blocks: responses[b * sizes.size() + i]
+  // answers algorithm b for sizes[i].
+  const std::vector<std::string> algos = {"construct", "greedy", "triple",
+                                          "c4"};
+  std::vector<eng::CoverRequest> requests;
+  for (const auto& algo : algos) {
+    for (const auto n : sizes) {
+      eng::CoverRequest req;
+      req.algorithm = algo;
+      req.n = n;
+      req.validate = false;  // the table reports counts, not validity
+      requests.push_back(req);
+    }
+  }
+
+  eng::Engine engine;
+  eng::BatchRunner runner(engine);
+  const auto responses = runner.run(requests);
+  const auto block = [&](std::size_t b, std::size_t i) -> const auto& {
+    return responses[b * sizes.size() + i];
+  };
+
   ccov::util::Table t({"n", "DRC optimal*", "DRC greedy", "C(n,3,2)",
                        "triple greedy", "C4 cover LB", "C4 greedy",
                        "EMZ obj (opt)", "EMZ obj (greedy)"});
-  for (std::uint32_t n = 5; n <= 29; n += 2) {
-    const auto opt = covering::build_optimal_cover(n);
-    const auto greedy = covering::greedy_cover(n);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto n = sizes[i];
+    const auto& opt = block(0, i).cover;
+    const auto& greedy = block(1, i).cover;
     t.add(n, opt.size(), greedy.size(),
-          baselines::triple_covering_number(n),
-          baselines::greedy_triple_cover(n).size(),
-          baselines::c4_covering_lower_bound(n),
-          baselines::greedy_c4_cover(n).size(),
+          baselines::triple_covering_number(n), block(2, i).cover.size(),
+          baselines::c4_covering_lower_bound(n), block(3, i).cover.size(),
           baselines::emz_objective(opt), baselines::emz_objective(greedy));
   }
   t.print(std::cout,

@@ -4,31 +4,65 @@
 // p C3 and p(p-1)/2 C4. This harness regenerates the claim: formula vs
 // inductive construction vs exact solver (small n), with the validator
 // certifying every covering and the capacity bound certifying optimality.
+// All covers are produced through the engine's BatchRunner (one request
+// per construction / solve), which fans the work across every core while
+// keeping the rows in deterministic order.
 
 #include <iostream>
 
 #include "ccov/covering/bounds.hpp"
-#include "ccov/covering/construct.hpp"
-#include "ccov/covering/solver.hpp"
+#include "ccov/engine/batch.hpp"
+#include "ccov/engine/engine.hpp"
 #include "ccov/util/table.hpp"
 
 int main() {
   using namespace ccov::covering;
+  namespace eng = ccov::engine;
+
+  std::vector<std::uint32_t> sizes;
+  for (std::uint32_t n = 3; n <= 41; n += 2) sizes.push_back(n);
+
+  // One construct request per n, then one solve request per small n; the
+  // solve block starts at sizes.size().
+  std::vector<eng::CoverRequest> requests;
+  for (const auto n : sizes) {
+    eng::CoverRequest req;
+    req.algorithm = "construct";
+    req.n = n;
+    requests.push_back(req);
+  }
+  std::vector<std::uint32_t> solve_sizes;
+  for (const auto n : sizes) {
+    if (n > 9) continue;
+    eng::CoverRequest req;
+    req.algorithm = "solve";
+    req.n = n;
+    req.budget = rho(n);
+    req.validate = false;
+    requests.push_back(req);
+    solve_sizes.push_back(n);
+  }
+
+  eng::Engine engine;
+  eng::BatchRunner runner(engine);
+  const auto responses = runner.run(requests);
+
   ccov::util::Table t({"n", "p", "rho(n) formula", "construction", "C3",
                        "C3 thm", "C4", "C4 thm", "capacity LB", "solver",
                        "valid"});
-  for (std::uint32_t n = 3; n <= 41; n += 2) {
-    const auto cover = construct_odd_cover(n);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto n = sizes[i];
+    const auto& resp = responses[i];
     const auto comp = theorem_composition(n);
-    const auto rep = validate_cover(cover);
     std::string solver = "-";
-    if (n <= 9) {
-      const auto res = solve_with_budget(n, rho(n));
-      solver = res.found ? std::to_string(res.cover.size()) : "fail";
+    for (std::size_t j = 0; j < solve_sizes.size(); ++j) {
+      if (solve_sizes[j] != n) continue;
+      const auto& sres = responses[sizes.size() + j];
+      solver = sres.found ? std::to_string(sres.cover.size()) : "fail";
     }
-    t.add(n, (n - 1) / 2, rho(n), cover.size(), count_c3(cover), comp.c3,
-          count_c4(cover), comp.c4, capacity_lower_bound(n), solver,
-          rep.ok ? "yes" : "NO");
+    t.add(n, (n - 1) / 2, rho(n), resp.cover.size(), count_c3(resp.cover),
+          comp.c3, count_c4(resp.cover), comp.c4, capacity_lower_bound(n),
+          solver, resp.valid ? "yes" : "NO");
   }
   t.print(std::cout,
           "Theorem 1: DRC-covering of K_n over C_n, odd n (paper: rho = "

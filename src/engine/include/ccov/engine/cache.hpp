@@ -1,0 +1,90 @@
+#pragma once
+/// \file cache.hpp
+/// Thread-safe LRU cache of CoverResponses keyed on canonicalized
+/// requests. The ring's automorphism group D_n acts on demand graphs;
+/// requests whose demands are rotations/reflections of each other share
+/// one cache entry: the stored cover lives in the canonical frame and is
+/// mapped back through the group element on every hit (reusing
+/// canonical.hpp's rotate_cover/reflect_cover). All-to-all requests are
+/// D_n-invariant, so their key is just the scalar request fields.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "ccov/engine/request.hpp"
+
+namespace ccov::engine {
+
+/// The dihedral group element g(v) = rot_shift(refl^reflect(v)) mapping a
+/// request's frame onto the canonical frame of its cache key.
+struct DihedralElement {
+  bool reflect = false;
+  std::uint32_t shift = 0;
+};
+
+/// Canonical cache key for a request plus the group element that realizes
+/// it. Exposed for tests; Engine users never need it directly.
+struct CanonicalKey {
+  std::string key;
+  DihedralElement to_canonical;
+};
+
+/// Compute the canonical key: scalar fields, plus the lexicographically
+/// least D_n-image of the demand chord multiset (empty demand = K_n, which
+/// every group element fixes).
+CanonicalKey canonical_request_key(const CoverRequest& req);
+
+/// Apply `g` (respectively its inverse) to every vertex of a cover.
+covering::RingCover apply_element(const covering::RingCover& cover,
+                                  const DihedralElement& g);
+covering::RingCover apply_inverse(const covering::RingCover& cover,
+                                  const DihedralElement& g);
+
+class CoverCache {
+ public:
+  /// \p capacity entries; least-recently-used eviction beyond that.
+  explicit CoverCache(std::size_t capacity = 256);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// Look up a response for `req`. On a hit the response is returned in
+  /// the request's own frame with cache_hit = true and nodes = 0 (nothing
+  /// was searched). On a miss returns nullopt and counts it.
+  std::optional<CoverResponse> lookup(const CoverRequest& req);
+
+  /// Store a completed response (its cover is kept in the canonical
+  /// frame). Failed responses (!ok) are not cached.
+  void insert(const CoverRequest& req, const CoverResponse& resp);
+
+  /// Overloads taking a precomputed key, so a miss-then-insert round trip
+  /// canonicalizes the request only once (the Engine's hot path).
+  std::optional<CoverResponse> lookup(const CanonicalKey& ck);
+  void insert(const CanonicalKey& ck, const CoverResponse& resp);
+
+  Stats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    CoverResponse resp;  ///< cover stored in the canonical frame
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace ccov::engine

@@ -1,0 +1,42 @@
+#pragma once
+/// \file engine.hpp
+/// The unified solver engine: one entry point through which every cover
+/// request flows. run() resolves the algorithm by name, consults the
+/// canonical CoverCache, executes, validates, and times the request. The
+/// engine is thread-safe; BatchRunner fans requests across it.
+
+#include <cstddef>
+
+#include "ccov/engine/cache.hpp"
+#include "ccov/engine/registry.hpp"
+#include "ccov/engine/request.hpp"
+
+namespace ccov::engine {
+
+struct EngineOptions {
+  /// Serve repeated (D_n-equivalent) requests from the cache.
+  bool use_cache = true;
+  /// LRU capacity of the cover cache.
+  std::size_t cache_capacity = 256;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opts = {},
+                  AlgorithmRegistry& registry = AlgorithmRegistry::global());
+
+  /// Execute one request. Never throws: algorithm failures, unknown
+  /// names and invalid parameters come back as ok = false responses.
+  CoverResponse run(const CoverRequest& req);
+
+  const AlgorithmRegistry& registry() const { return registry_; }
+  CoverCache& cache() { return cache_; }
+  const CoverCache& cache() const { return cache_; }
+
+ private:
+  EngineOptions opts_;
+  AlgorithmRegistry& registry_;
+  CoverCache cache_;
+};
+
+}  // namespace ccov::engine

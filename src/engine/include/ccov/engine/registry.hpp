@@ -1,0 +1,91 @@
+#pragma once
+/// \file registry.hpp
+/// Name -> algorithm dispatch. Every cover-producing strategy registers
+/// itself here once and is then reachable from the CLI (`ccov run --algo
+/// NAME`), the sweep runner, the bench tables and the tests without any
+/// per-call-site dispatch code.
+///
+/// Registration is self-service: construct an AlgorithmRegistrar at
+/// namespace scope (see src/engine/README.md), or call
+/// AlgorithmRegistry::global().add(...) during startup. The built-in
+/// strategies are registered lazily the first time global() is used, so
+/// static-library dead-stripping can never lose them.
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ccov/engine/request.hpp"
+
+namespace ccov::engine {
+
+/// What an algorithm hands back to the engine; the engine wraps it into a
+/// CoverResponse (timing, validation, cache metadata).
+struct AlgorithmOutcome {
+  covering::RingCover cover;
+  bool found = true;       ///< false when a search exhausted its budget
+  bool exhausted = false;  ///< search space fully explored (solvers)
+  std::uint64_t nodes = 0; ///< branch nodes visited (0 for constructions)
+};
+
+/// A named cover-producing strategy.
+struct Algorithm {
+  std::string name;
+  std::string description;
+  /// Cacheable algorithms are deterministic functions of the canonical
+  /// request and may be served from the CoverCache.
+  bool cacheable = true;
+  /// Produce a cover. May throw std::exception to signal an unsupported
+  /// request (the engine converts it into an error response).
+  std::function<AlgorithmOutcome(const CoverRequest&)> run;
+  /// Optional custom validator (e.g. lambda*K_n demands). When absent the
+  /// engine validates against the request's demand (K_n by default).
+  std::function<bool(const CoverRequest&, const covering::RingCover&)>
+      validate;
+};
+
+/// Thread-safe name -> Algorithm map.
+class AlgorithmRegistry {
+ public:
+  /// Register a strategy. Throws std::invalid_argument on an empty or
+  /// duplicate name, or a missing run function.
+  void add(Algorithm algo);
+
+  /// nullptr when the name is unknown. The returned pointer stays valid
+  /// for the registry's lifetime (algorithms are never removed).
+  const Algorithm* find(const std::string& name) const;
+
+  bool contains(const std::string& name) const { return find(name); }
+
+  /// Registered names in sorted order.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+
+  /// The process-wide registry with all built-in strategies registered
+  /// (construct, solve, solve-parallel, greedy, emz, c4, triple, lambda).
+  static AlgorithmRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Algorithm> algos_;
+};
+
+/// RAII helper for self-registration from any translation unit:
+///
+///   namespace {
+///   const ccov::engine::AlgorithmRegistrar kReg({
+///       "my-algo", "what it does", true,
+///       [](const CoverRequest& req) { ... }, nullptr});
+///   }
+struct AlgorithmRegistrar {
+  explicit AlgorithmRegistrar(Algorithm algo);
+};
+
+/// Register the built-in strategies into `reg`. Idempotent per registry;
+/// called automatically by AlgorithmRegistry::global().
+void register_builtin_algorithms(AlgorithmRegistry& reg);
+
+}  // namespace ccov::engine

@@ -1,0 +1,54 @@
+#include "ccov/engine/batch.hpp"
+
+#include <exception>
+#include <unordered_map>
+
+#include "ccov/util/thread_pool.hpp"
+
+namespace ccov::engine {
+
+BatchRunner::BatchRunner(Engine& engine, BatchOptions opts)
+    : engine_(engine), opts_(opts) {}
+
+std::vector<CoverResponse> BatchRunner::run(
+    const std::vector<CoverRequest>& requests) {
+  std::vector<CoverResponse> results(requests.size());
+  const auto run_one = [&](std::size_t i) {
+    try {
+      results[i] = engine_.run(requests[i]);
+    } catch (const std::exception& e) {
+      // Engine::run never throws by contract; belt-and-braces so one bad
+      // request can never take down a whole batch.
+      results[i].algorithm = requests[i].algorithm;
+      results[i].n = requests[i].n;
+      results[i].error = e.what();
+    }
+  };
+  if (opts_.jobs == 1 || requests.size() <= 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i) run_one(i);
+    return results;
+  }
+
+  // Fan out only the first request of each canonical-key group; repeats
+  // run afterwards, in input order, against the then-warm cache. Serially
+  // they would have hit the cache too (nodes = 0, remapped frame), so the
+  // output stays byte-identical across every --jobs value even when a
+  // batch carries duplicate or D_n-equivalent requests.
+  std::vector<std::size_t> primaries, repeats;
+  std::unordered_map<std::string, std::size_t> seen;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::string key = canonical_request_key(requests[i]).key;
+    if (seen.emplace(key, i).second) {
+      primaries.push_back(i);
+    } else {
+      repeats.push_back(i);
+    }
+  }
+  util::ThreadPool pool(opts_.jobs);
+  util::parallel_for(pool, 0, primaries.size(),
+                     [&](std::size_t k) { run_one(primaries[k]); });
+  for (const std::size_t i : repeats) run_one(i);
+  return results;
+}
+
+}  // namespace ccov::engine

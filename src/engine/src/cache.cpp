@@ -1,0 +1,157 @@
+#include "ccov/engine/cache.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "ccov/covering/canonical.hpp"
+
+namespace ccov::engine {
+
+namespace {
+
+using EdgeList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Image of the demand multiset under g(v) = rot_shift(refl^r(v)),
+/// normalized (u <= v per edge) and sorted so equal multisets compare
+/// equal.
+EdgeList transform_demand(const std::vector<graph::Edge>& demand,
+                          std::uint32_t n, bool reflect,
+                          std::uint32_t shift) {
+  EdgeList out;
+  out.reserve(demand.size());
+  for (const auto& e : demand) {
+    auto map = [&](std::uint32_t v) {
+      const std::uint32_t r = reflect ? (n - v) % n : v;
+      return (r + shift) % n;
+    };
+    std::uint32_t u = map(e.u), v = map(e.v);
+    if (u > v) std::swap(u, v);
+    out.emplace_back(u, v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+CanonicalKey canonical_request_key(const CoverRequest& req) {
+  std::ostringstream key;
+  key << req.algorithm << "|n=" << req.n << "|b=" << req.budget
+      << "|l=" << req.lambda << "|mcl=" << req.solver.max_cycle_len
+      << "|mn=" << req.solver.max_nodes
+      << "|cp=" << req.solver.use_capacity_prune << "|v=" << req.validate;
+
+  CanonicalKey out;
+  if (req.demand.empty() || req.n == 0) {
+    // K_n is fixed by every element of D_n: the identity suffices.
+    key << "|K_n";
+  } else {
+    // Lexicographically least D_n-image of the demand; the minimizing
+    // element maps this request's frame onto the canonical frame.
+    EdgeList best;
+    bool have_best = false;
+    for (int refl = 0; refl < 2; ++refl) {
+      for (std::uint32_t s = 0; s < req.n; ++s) {
+        EdgeList img = transform_demand(req.demand, req.n, refl != 0, s);
+        if (!have_best || img < best) {
+          best = std::move(img);
+          out.to_canonical = {refl != 0, s};
+          have_best = true;
+        }
+      }
+    }
+    key << "|D";
+    for (const auto& [u, v] : best) key << " " << u << "-" << v;
+  }
+  out.key = key.str();
+  return out;
+}
+
+covering::RingCover apply_element(const covering::RingCover& cover,
+                                  const DihedralElement& g) {
+  if (cover.n == 0 || (!g.reflect && g.shift % cover.n == 0)) return cover;
+  const covering::RingCover tmp =
+      g.reflect ? covering::reflect_cover(cover) : cover;
+  return covering::rotate_cover(tmp, g.shift % cover.n);
+}
+
+covering::RingCover apply_inverse(const covering::RingCover& cover,
+                                  const DihedralElement& g) {
+  if (cover.n == 0 || (!g.reflect && g.shift % cover.n == 0)) return cover;
+  // g = rot_s . refl^r, so g^{-1} = refl^r . rot_{-s}.
+  const covering::RingCover tmp = covering::rotate_cover(
+      cover, (cover.n - g.shift % cover.n) % cover.n);
+  return g.reflect ? covering::reflect_cover(tmp) : tmp;
+}
+
+CoverCache::CoverCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::optional<CoverResponse> CoverCache::lookup(const CoverRequest& req) {
+  return lookup(canonical_request_key(req));
+}
+
+std::optional<CoverResponse> CoverCache::lookup(const CanonicalKey& ck) {
+  std::lock_guard lk(mu_);
+  const auto it = index_.find(ck.key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
+  ++stats_.hits;
+  CoverResponse resp = it->second->resp;
+  // Map the canonical-frame cover back into the request's own frame.
+  if (resp.found) resp.cover = apply_inverse(resp.cover, ck.to_canonical);
+  resp.cache_hit = true;
+  resp.nodes = 0;  // nothing was searched
+  resp.elapsed_ms = 0.0;
+  return resp;
+}
+
+void CoverCache::insert(const CoverRequest& req, const CoverResponse& resp) {
+  insert(canonical_request_key(req), resp);
+}
+
+void CoverCache::insert(const CanonicalKey& ck, const CoverResponse& resp) {
+  if (!resp.ok) return;
+  CoverResponse stored = resp;
+  stored.cache_hit = false;
+  // Store the cover in the canonical frame so every D_n-equivalent
+  // request shares this one entry.
+  if (stored.found) stored.cover = apply_element(stored.cover, ck.to_canonical);
+  std::lock_guard lk(mu_);
+  const auto it = index_.find(ck.key);
+  if (it != index_.end()) {
+    it->second->resp = std::move(stored);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{ck.key, std::move(stored)});
+  index_[ck.key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+CoverCache::Stats CoverCache::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+std::size_t CoverCache::size() const {
+  std::lock_guard lk(mu_);
+  return lru_.size();
+}
+
+void CoverCache::clear() {
+  std::lock_guard lk(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_ = {};
+}
+
+}  // namespace ccov::engine

@@ -1,0 +1,68 @@
+#include "ccov/engine/engine.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "ccov/covering/cover.hpp"
+#include "ccov/util/timer.hpp"
+
+namespace ccov::engine {
+
+Engine::Engine(EngineOptions opts, AlgorithmRegistry& registry)
+    : opts_(opts), registry_(registry), cache_(opts.cache_capacity) {}
+
+CoverResponse Engine::run(const CoverRequest& req) {
+  CoverResponse resp;
+  resp.algorithm = req.algorithm;
+  resp.n = req.n;
+
+  const Algorithm* algo = registry_.find(req.algorithm);
+  if (!algo) {
+    resp.error = "unknown algorithm '" + req.algorithm + "'";
+    return resp;
+  }
+  if (req.n < 3) {
+    resp.error = "n must be >= 3";
+    return resp;
+  }
+
+  const bool cacheable = opts_.use_cache && algo->cacheable;
+  CanonicalKey ck;
+  if (cacheable) {
+    ck = canonical_request_key(req);
+    if (auto hit = cache_.lookup(ck)) return *std::move(hit);
+  }
+
+  util::Timer timer;
+  try {
+    AlgorithmOutcome out = algo->run(req);
+    resp.ok = true;
+    resp.found = out.found;
+    resp.exhausted = out.exhausted;
+    resp.nodes = out.nodes;
+    resp.cover = std::move(out.cover);
+  } catch (const std::exception& e) {
+    resp.error = e.what();
+    resp.elapsed_ms = timer.millis();
+    return resp;
+  }
+
+  if (req.validate && resp.found) {
+    resp.validated = true;
+    if (algo->validate) {
+      resp.valid = algo->validate(req, resp.cover);
+    } else if (req.demand.empty()) {
+      resp.valid = covering::validate_cover(resp.cover).ok;
+    } else {
+      resp.valid = covering::validate_cover_against(
+                       resp.cover, demand_graph(req.n, req.demand))
+                       .ok;
+    }
+  }
+  resp.elapsed_ms = timer.millis();
+
+  if (cacheable) cache_.insert(ck, resp);
+  return resp;
+}
+
+}  // namespace ccov::engine

@@ -27,6 +27,16 @@ class Table {
   /// Render with column alignment, a header rule and an optional title.
   void print(std::ostream& os, const std::string& title = "") const;
 
+  /// Emit the header plus every row as RFC-4180-style CSV (cells holding
+  /// commas, quotes or newlines are quoted). Machine-readable companion
+  /// to print(); `ccov sweep --format csv` goes through here.
+  void write_csv(std::ostream& os) const;
+
+  /// Emit the rows as a JSON array of objects keyed by the headers. All
+  /// values are emitted as JSON strings, keeping the output byte-stable
+  /// regardless of how a cell was formatted.
+  void write_json(std::ostream& os) const;
+
   std::size_t rows() const { return rows_.size(); }
 
  private:

@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -26,11 +27,14 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; tasks must not throw (they are run detached from any
-  /// future; exceptions would terminate).
+  /// Enqueue a task. A task that throws does not terminate the process:
+  /// the first exception is captured and rethrown from the next
+  /// wait_idle() on the submitting side.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished, then rethrow the
+  /// first exception any of them raised (if one did). The pool stays
+  /// usable afterwards — the stored exception is cleared on rethrow.
   void wait_idle();
 
  private:
@@ -43,10 +47,13 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;
 };
 
 /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
-/// Indices are chunked to limit queue overhead.
+/// Indices are chunked to limit queue overhead. An exception thrown by
+/// fn propagates to the caller (remaining chunks still run to
+/// completion; only the first exception is rethrown).
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);
 

@@ -1,6 +1,7 @@
 #include "ccov/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace ccov::util {
 
@@ -32,6 +33,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lk(mu_);
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -44,9 +50,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard lk(mu_);
+      if (err && !first_error_) first_error_ = err;
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }

@@ -13,7 +13,21 @@ fail() { echo "cli_smoke: FAIL: $*" >&2; exit 1; }
 echo "== ccov usage/help behaviour"
 "${CCOV}" | grep -q "usage:" || fail "no-arg invocation should print usage and exit 0"
 "${CCOV}" help >/dev/null || fail "'ccov help' should exit 0"
+for sub in cover validate bounds solve protect run sweep algos; do
+  "${CCOV}" help | grep -q "${sub}" || fail "usage should list '${sub}'"
+done
 if "${CCOV}" frobnicate >/dev/null 2>&1; then fail "unknown command should exit nonzero"; fi
+UNKNOWN_OUT="${TMPDIR_SMOKE}/unknown.out"
+UNKNOWN_ERR="${TMPDIR_SMOKE}/unknown.err"
+if "${CCOV}" frobnicate >"${UNKNOWN_OUT}" 2>"${UNKNOWN_ERR}"; then
+  fail "unknown command should exit nonzero"
+fi
+[ ! -s "${UNKNOWN_OUT}" ] || fail "unknown command should not write to stdout"
+grep -q "usage:" "${UNKNOWN_ERR}" || fail "unknown command should print usage on stderr"
+
+echo "== ccov --version"
+"${CCOV}" --version | grep -Eq "^ccov [0-9]+\.[0-9]+\.[0-9]+" \
+  || fail "--version should print 'ccov <semver>'"
 
 echo "== ccov bounds --n 13"
 OUT=$("${CCOV}" bounds --n 13)
@@ -50,5 +64,47 @@ echo "${P}" | grep -q "found=1" || fail "parallel solve n=7 should find a cover"
 
 echo "== ccov protect --n 12 --edge 3"
 "${CCOV}" protect --n 12 --edge 3 | grep -q "affected=" || fail "protect output missing report"
+
+echo "== ccov algos lists the registered strategies"
+ALGOS=$("${CCOV}" algos)
+for name in construct solve greedy lambda; do
+  echo "${ALGOS}" | grep -q "${name}" || fail "algos output missing '${name}'"
+done
+
+echo "== ccov run --algo construct --n 9"
+"${CCOV}" run --algo construct --n 9 | grep -q "valid=yes" \
+  || fail "run construct n=9 should produce a valid cover"
+
+echo "== ccov run --algo solve caches the second invocation's shape"
+"${CCOV}" run --algo solve --n 7 | grep -q "found=1" \
+  || fail "run solve n=7 should find a cover"
+
+echo "== ccov run with an unknown algorithm exits nonzero"
+if "${CCOV}" run --algo frobnicate --n 9 >/dev/null 2>&1; then
+  fail "run with unknown --algo should exit nonzero"
+fi
+
+echo "== ccov run exits nonzero when the cover fails validation"
+# The classical C4 covering ignores the DRC, so validation fails.
+if "${CCOV}" run --algo c4 --n 9 >/dev/null 2>&1; then
+  fail "run producing an invalid cover should exit nonzero"
+fi
+"${CCOV}" run --algo c4 --n 9 --no-validate >/dev/null \
+  || fail "run --no-validate should not fail on an unvalidated cover"
+
+echo "== ccov sweep (CSV to file, deterministic across --jobs)"
+SWEEP1="${TMPDIR_SMOKE}/sweep1.csv"
+SWEEP4="${TMPDIR_SMOKE}/sweep4.csv"
+"${CCOV}" sweep --n-from 3 --n-to 12 --algo construct --jobs 1 --out "${SWEEP1}" \
+  || fail "sweep --jobs 1 failed"
+"${CCOV}" sweep --n-from 3 --n-to 12 --algo construct --jobs 4 --out "${SWEEP4}" \
+  || fail "sweep --jobs 4 failed"
+head -n 1 "${SWEEP1}" | grep -q "algo,n,rho,cycles" || fail "sweep CSV header missing"
+[ "$(wc -l < "${SWEEP1}")" -eq 11 ] || fail "sweep CSV should have header + 10 rows"
+cmp -s "${SWEEP1}" "${SWEEP4}" || fail "sweep output should be identical across --jobs"
+
+echo "== ccov sweep --format json"
+"${CCOV}" sweep --n-from 5 --n-to 7 --algo greedy --format json \
+  | grep -q '"algo": "greedy"' || fail "sweep JSON output malformed"
 
 echo "cli_smoke: PASS"

@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ccov/baselines/c4_cover.hpp"
+#include "ccov/baselines/emz.hpp"
+#include "ccov/baselines/triple_cover.hpp"
+#include "ccov/covering/bounds.hpp"
+#include "ccov/covering/canonical.hpp"
+#include "ccov/covering/construct.hpp"
+#include "ccov/covering/greedy.hpp"
+#include "ccov/engine/batch.hpp"
+#include "ccov/engine/cache.hpp"
+#include "ccov/engine/engine.hpp"
+#include "ccov/engine/registry.hpp"
+#include "ccov/engine/request.hpp"
+#include "ccov/extensions/lambda_cover.hpp"
+
+namespace eng = ccov::engine;
+namespace cov = ccov::covering;
+
+namespace {
+
+eng::CoverRequest make_req(const std::string& algo, std::uint32_t n) {
+  eng::CoverRequest req;
+  req.algorithm = algo;
+  req.n = n;
+  return req;
+}
+
+std::string rows_of(const std::vector<eng::CoverResponse>& responses) {
+  std::string out;
+  for (const auto& r : responses) out += eng::deterministic_row(r) + "\n";
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, ResolvesAllBuiltinsByName) {
+  auto& reg = eng::AlgorithmRegistry::global();
+  const std::vector<std::string> expected = {
+      "construct", "solve",  "solve-parallel", "greedy",
+      "emz",       "c4",     "triple",         "lambda"};
+  EXPECT_GE(reg.size(), 6u);
+  for (const auto& name : expected) {
+    const eng::Algorithm* algo = reg.find(name);
+    ASSERT_NE(algo, nullptr) << name;
+    EXPECT_EQ(algo->name, name);
+    EXPECT_FALSE(algo->description.empty()) << name;
+  }
+  const auto names = reg.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, UnknownNameIsNull) {
+  EXPECT_EQ(eng::AlgorithmRegistry::global().find("frobnicate"), nullptr);
+}
+
+TEST(Registry, RejectsDuplicateAndAnonymous) {
+  eng::AlgorithmRegistry reg;
+  eng::Algorithm a{"x", "test", true,
+                   [](const eng::CoverRequest&) {
+                     return eng::AlgorithmOutcome{};
+                   },
+                   nullptr};
+  reg.add(a);
+  EXPECT_THROW(reg.add(a), std::invalid_argument);
+  a.name.clear();
+  EXPECT_THROW(reg.add(a), std::invalid_argument);
+  a.name = "y";
+  a.run = nullptr;
+  EXPECT_THROW(reg.add(a), std::invalid_argument);
+}
+
+TEST(Registry, EveryBuiltinProducesACoverFor9) {
+  eng::Engine engine({.use_cache = false});
+  for (const auto& name : engine.registry().names()) {
+    const auto resp = engine.run(make_req(name, 9));
+    EXPECT_TRUE(resp.ok) << name << ": " << resp.error;
+    EXPECT_TRUE(resp.found) << name;
+    EXPECT_GT(resp.cover.size(), 0u) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine semantics
+// ---------------------------------------------------------------------------
+
+TEST(Engine, UnknownAlgorithmIsAnErrorResponse) {
+  eng::Engine engine;
+  const auto resp = engine.run(make_req("no-such-algo", 9));
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("unknown algorithm"), std::string::npos);
+}
+
+TEST(Engine, TooSmallNIsAnErrorResponse) {
+  eng::Engine engine;
+  EXPECT_FALSE(engine.run(make_req("construct", 2)).ok);
+}
+
+TEST(Engine, UnsupportedRequestShapeIsAnErrorResponse) {
+  eng::Engine engine;
+  auto req = make_req("construct", 9);
+  req.lambda = 3;  // construct only understands plain K_n
+  const auto resp = engine.run(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_FALSE(resp.error.empty());
+}
+
+TEST(Engine, LambdaAlgorithmValidatesAgainstLambdaDemand) {
+  eng::Engine engine;
+  auto req = make_req("lambda", 7);
+  req.lambda = 2;
+  const auto resp = engine.run(req);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_TRUE(resp.validated);
+  EXPECT_TRUE(resp.valid);
+  EXPECT_TRUE(ccov::extensions::validate_lambda_cover(resp.cover, 2));
+}
+
+TEST(Engine, C4BaselineIsInvalidUnderDrcByDesign) {
+  // Any 3 distinct ring vertices are circularly ordered, so the classical
+  // triangle covering is always DRC-feasible; the classical C4 covering
+  // is the baseline that genuinely ignores the routing constraint.
+  eng::Engine engine;
+  const auto resp = engine.run(make_req("c4", 9));
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_TRUE(resp.validated);
+  EXPECT_FALSE(resp.valid);
+}
+
+// ---------------------------------------------------------------------------
+// CoverCache
+// ---------------------------------------------------------------------------
+
+TEST(CoverCache, WarmSolveHitSkipsTheSearch) {
+  eng::Engine engine;
+  auto req = make_req("solve", 8);
+  req.budget = cov::rho(8);
+  const auto cold = engine.run(req);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_TRUE(cold.found);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_GT(cold.nodes, 0u);
+
+  const auto warm = engine.run(req);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.nodes, 0u);  // nothing was re-searched
+  EXPECT_TRUE(cov::covers_isomorphic(cold.cover, warm.cover));
+
+  const auto stats = engine.cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(CoverCache, CountsHitsAndMisses) {
+  eng::CoverCache cache(8);
+  eng::CoverRequest req = make_req("construct", 9);
+  EXPECT_FALSE(cache.lookup(req).has_value());
+  eng::CoverResponse resp;
+  resp.ok = true;
+  resp.found = true;
+  resp.algorithm = "construct";
+  resp.n = 9;
+  resp.cover = cov::build_optimal_cover(9);
+  cache.insert(req, resp);
+  EXPECT_TRUE(cache.lookup(req).has_value());
+  EXPECT_FALSE(cache.lookup(make_req("construct", 11)).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CoverCache, EvictsLeastRecentlyUsedAtCapacity) {
+  eng::CoverCache cache(2);
+  auto mk_resp = [](std::uint32_t n) {
+    eng::CoverResponse resp;
+    resp.ok = true;
+    resp.found = true;
+    resp.n = n;
+    resp.cover = cov::build_optimal_cover(n);
+    return resp;
+  };
+  cache.insert(make_req("construct", 5), mk_resp(5));
+  cache.insert(make_req("construct", 7), mk_resp(7));
+  // Touch n=5 so n=7 is the LRU entry, then overflow.
+  EXPECT_TRUE(cache.lookup(make_req("construct", 5)).has_value());
+  cache.insert(make_req("construct", 9), mk_resp(9));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup(make_req("construct", 5)).has_value());
+  EXPECT_TRUE(cache.lookup(make_req("construct", 9)).has_value());
+  EXPECT_FALSE(cache.lookup(make_req("construct", 7)).has_value());
+}
+
+TEST(CoverCache, FailedResponsesAreNotCached) {
+  eng::CoverCache cache(4);
+  eng::CoverResponse bad;
+  bad.ok = false;
+  cache.insert(make_req("construct", 9), bad);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CoverCache, DihedrallyEquivalentDemandsShareOneEntry) {
+  // The same sparse demand, once as-is, once rotated by 2, once
+  // reflected: all three canonicalize to one key.
+  const std::uint32_t n = 9;
+  const std::vector<ccov::graph::Edge> base = {{0, 3}, {1, 4}, {2, 7}};
+  auto transformed = [&](bool reflect, std::uint32_t shift) {
+    std::vector<ccov::graph::Edge> out;
+    for (const auto& e : base) {
+      auto map = [&](std::uint32_t v) {
+        const std::uint32_t r = reflect ? (n - v) % n : v;
+        return (r + shift) % n;
+      };
+      out.push_back({map(e.u), map(e.v)});
+    }
+    return out;
+  };
+
+  auto req_with = [&](std::vector<ccov::graph::Edge> demand) {
+    auto req = make_req("greedy", n);
+    req.demand = std::move(demand);
+    return req;
+  };
+
+  const auto k0 = eng::canonical_request_key(req_with(base));
+  const auto k1 = eng::canonical_request_key(req_with(transformed(false, 2)));
+  const auto k2 = eng::canonical_request_key(req_with(transformed(true, 5)));
+  EXPECT_EQ(k0.key, k1.key);
+  EXPECT_EQ(k0.key, k2.key);
+
+  eng::Engine engine;
+  const auto cold = engine.run(req_with(base));
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+
+  const auto rotated = req_with(transformed(false, 2));
+  const auto hit = engine.run(rotated);
+  ASSERT_TRUE(hit.ok) << hit.error;
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(engine.cache().size(), 1u);
+  // The cover handed back is in the *rotated request's* frame: it must
+  // cover the rotated demand exactly.
+  EXPECT_TRUE(cov::validate_cover_against(
+                  hit.cover, eng::demand_graph(n, rotated.demand))
+                  .ok);
+
+  const auto reflected = req_with(transformed(true, 5));
+  const auto hit2 = engine.run(reflected);
+  ASSERT_TRUE(hit2.ok) << hit2.error;
+  EXPECT_TRUE(hit2.cache_hit);
+  EXPECT_TRUE(cov::validate_cover_against(
+                  hit2.cover, eng::demand_graph(n, reflected.demand))
+                  .ok);
+  EXPECT_EQ(engine.cache().size(), 1u);
+  EXPECT_EQ(engine.cache().stats().hits, 2u);
+}
+
+TEST(CoverCache, ApplyElementRoundTrips) {
+  const auto cover = cov::build_optimal_cover(9);
+  for (const bool reflect : {false, true}) {
+    for (std::uint32_t shift = 0; shift < 9; ++shift) {
+      const eng::DihedralElement g{reflect, shift};
+      const auto there = eng::apply_element(cover, g);
+      const auto back = eng::apply_inverse(there, g);
+      EXPECT_TRUE(cov::covers_isomorphic(cover, there));
+      // Round trip is the identity on the nose, not just up to D_n.
+      EXPECT_EQ(cov::canonical_cover(back).cycles,
+                cov::canonical_cover(cover).cycles);
+      EXPECT_TRUE(cov::validate_cover(back).ok);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BatchRunner
+// ---------------------------------------------------------------------------
+
+TEST(BatchRunner, SweepIsByteIdenticalAcrossJobCounts) {
+  // The acceptance sweep: construct for every n in 3..15 plus the exact
+  // solver for the small sizes, once with 1 worker, once with 4. The
+  // deterministic rows must match byte for byte.
+  std::vector<eng::CoverRequest> requests;
+  for (std::uint32_t n = 3; n <= 15; ++n)
+    requests.push_back(make_req("construct", n));
+  for (std::uint32_t n = 3; n <= 9; ++n) {
+    auto req = make_req("solve", n);
+    req.budget = cov::rho(n);
+    requests.push_back(req);
+  }
+
+  eng::Engine engine1;
+  eng::BatchRunner serial(engine1, {.jobs = 1});
+  const std::string rows1 = rows_of(serial.run(requests));
+
+  eng::Engine engine4;
+  eng::BatchRunner parallel(engine4, {.jobs = 4});
+  const std::string rows4 = rows_of(parallel.run(requests));
+
+  EXPECT_EQ(rows1, rows4);
+  EXPECT_FALSE(rows1.empty());
+}
+
+TEST(BatchRunner, DuplicateRequestsStayByteIdenticalAcrossJobCounts) {
+  // Serially the second duplicate hits the warm cache (nodes = 0); the
+  // parallel path must not let both copies race past the cache and
+  // report different node counts.
+  std::vector<eng::CoverRequest> requests;
+  for (int copy = 0; copy < 2; ++copy) {
+    for (std::uint32_t n = 7; n <= 9; ++n) {
+      auto req = make_req("solve", n);
+      req.budget = cov::rho(n);
+      requests.push_back(req);
+    }
+  }
+  eng::Engine engine1;
+  eng::BatchRunner serial(engine1, {.jobs = 1});
+  const std::string rows1 = rows_of(serial.run(requests));
+
+  eng::Engine engine4;
+  eng::BatchRunner parallel(engine4, {.jobs = 4});
+  const std::string rows4 = rows_of(parallel.run(requests));
+  EXPECT_EQ(rows1, rows4);
+}
+
+TEST(BatchRunner, ResultsAreIndexAlignedWithRequests) {
+  std::vector<eng::CoverRequest> requests;
+  for (std::uint32_t n = 15; n >= 3; --n)  // deliberately decreasing
+    requests.push_back(make_req("greedy", n));
+  eng::Engine engine;
+  eng::BatchRunner runner(engine, {.jobs = 4});
+  const auto responses = runner.run(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(responses[i].n, requests[i].n) << i;
+    EXPECT_EQ(responses[i].algorithm, "greedy") << i;
+    EXPECT_TRUE(responses[i].ok) << responses[i].error;
+  }
+}
+
+TEST(BatchRunner, BadRequestsDoNotPoisonTheBatch) {
+  std::vector<eng::CoverRequest> requests = {
+      make_req("construct", 9), make_req("no-such-algo", 9),
+      make_req("construct", 2), make_req("construct", 11)};
+  eng::Engine engine;
+  eng::BatchRunner runner(engine, {.jobs = 2});
+  const auto responses = runner.run(requests);
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_FALSE(responses[2].ok);
+  EXPECT_TRUE(responses[3].ok);
+}
+
+// ---------------------------------------------------------------------------
+// Migrated bench tables: engine rows == bespoke-loop rows
+// ---------------------------------------------------------------------------
+
+TEST(MigratedTables, Theorem1RowsMatchDirectCalls) {
+  eng::Engine engine;
+  eng::BatchRunner runner(engine);
+  std::vector<eng::CoverRequest> requests;
+  for (std::uint32_t n = 3; n <= 21; n += 2)
+    requests.push_back(make_req("construct", n));
+  const auto responses = runner.run(requests);
+  for (const auto& resp : responses) {
+    const auto direct = cov::construct_odd_cover(resp.n);
+    EXPECT_EQ(resp.cover.size(), direct.size()) << resp.n;
+    EXPECT_EQ(cov::count_c3(resp.cover), cov::count_c3(direct)) << resp.n;
+    EXPECT_EQ(cov::count_c4(resp.cover), cov::count_c4(direct)) << resp.n;
+    EXPECT_EQ(resp.valid, cov::validate_cover(direct).ok) << resp.n;
+  }
+}
+
+TEST(MigratedTables, Theorem2RowsMatchDirectCalls) {
+  eng::Engine engine;
+  eng::BatchRunner runner(engine);
+  std::vector<eng::CoverRequest> requests;
+  for (std::uint32_t n = 4; n <= 20; n += 2)
+    requests.push_back(make_req("construct", n));
+  const auto responses = runner.run(requests);
+  for (const auto& resp : responses) {
+    const auto direct = cov::construct_even_cover(resp.n);
+    EXPECT_EQ(resp.cover.size(), direct.size()) << resp.n;
+    EXPECT_EQ(cov::count_c3(resp.cover), cov::count_c3(direct)) << resp.n;
+    EXPECT_EQ(cov::count_c4(resp.cover), cov::count_c4(direct)) << resp.n;
+  }
+}
+
+TEST(MigratedTables, BaselineRowsMatchDirectCalls) {
+  eng::Engine engine;
+  eng::BatchRunner runner(engine);
+  const std::vector<std::string> algos = {"construct", "greedy", "triple",
+                                          "c4", "emz"};
+  std::vector<eng::CoverRequest> requests;
+  for (const auto& algo : algos) {
+    auto req = make_req(algo, 11);
+    req.validate = false;
+    requests.push_back(req);
+  }
+  const auto responses = runner.run(requests);
+  EXPECT_EQ(responses[0].cover.size(), cov::build_optimal_cover(11).size());
+  EXPECT_EQ(responses[1].cover.size(), cov::greedy_cover(11).size());
+  EXPECT_EQ(responses[2].cover.size(),
+            ccov::baselines::greedy_triple_cover(11).size());
+  EXPECT_EQ(responses[3].cover.size(),
+            ccov::baselines::greedy_c4_cover(11).size());
+  EXPECT_EQ(responses[4].cover.size(),
+            ccov::baselines::emz_greedy_cover(11).size());
+  EXPECT_EQ(ccov::baselines::emz_objective(responses[0].cover),
+            ccov::baselines::emz_objective(cov::build_optimal_cover(11)));
+}

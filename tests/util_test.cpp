@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "ccov/util/cli.hpp"
 #include "ccov/util/csv.hpp"
@@ -81,6 +83,44 @@ TEST(Table, FormatsDoubles) {
   EXPECT_NE(os.str().find("1.235"), std::string::npos);
 }
 
+TEST(Table, WritesCsv) {
+  cu::Table t({"algo", "n"});
+  t.add("construct", 9);
+  t.add("with,comma", 11);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "algo,n\nconstruct,9\n\"with,comma\",11\n");
+}
+TEST(Table, CsvQuotesQuotesAndCarriageReturns) {
+  cu::Table t({"x"});
+  t.add(std::string("a\"b"));
+  t.add(std::string("c\rd"));
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x\n\"a\"\"b\"\n\"c\rd\"\n");
+}
+TEST(Table, WritesJson) {
+  cu::Table t({"algo", "n"});
+  t.add("greedy", 7);
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_EQ(os.str(), "[\n  {\"algo\": \"greedy\", \"n\": \"7\"}\n]\n");
+}
+TEST(Table, JsonEscapesControlCharacters) {
+  cu::Table t({"x"});
+  t.add(std::string("a\"b\\c\nd\x01"
+                    "e"));
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_NE(os.str().find("a\\\"b\\\\c\\nd\\u0001e"), std::string::npos);
+}
+TEST(Table, EmptyJsonIsAnEmptyArray) {
+  cu::Table t({"x"});
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_EQ(os.str(), "[\n]\n");
+}
+
 TEST(Csv, WritesEscapedCells) {
   const std::string path = testing::TempDir() + "ccov_csv_test.csv";
   {
@@ -141,6 +181,53 @@ TEST(ThreadPool, ParallelForCoversRange) {
 TEST(ThreadPool, EmptyRangeIsNoop) {
   cu::ThreadPool pool(2);
   cu::parallel_for(pool, 5, 5, [](std::size_t) { FAIL(); });
+}
+TEST(ThreadPool, ZeroThreadsFallsBackToHardwareConcurrency) {
+  cu::ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&] { counter++; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+TEST(ThreadPool, ReusableAfterDrain) {
+  cu::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) pool.submit([&] { counter++; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 50 * (round + 1));
+  }
+}
+TEST(ThreadPool, TaskExceptionPropagatesToWaitIdle) {
+  cu::ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The stored exception is cleared and the pool stays usable.
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter++; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+TEST(ThreadPool, FirstOfSeveralExceptionsWins) {
+  cu::ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i)
+    pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // cleared: a second wait does not rethrow
+}
+TEST(ThreadPool, ParallelForPropagatesTaskException) {
+  cu::ThreadPool pool(4);
+  EXPECT_THROW(cu::parallel_for(pool, 0, 100,
+                                [](std::size_t i) {
+                                  if (i == 37)
+                                    throw std::invalid_argument("bad index");
+                                }),
+               std::invalid_argument);
+  // Remaining chunks completed; the pool is still usable afterwards.
+  std::vector<std::atomic<int>> hits(20);
+  cu::parallel_for(pool, 0, 20, [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(hits[i].load(), 1);
 }
 
 TEST(Timer, MeasuresNonNegative) {

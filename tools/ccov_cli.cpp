@@ -6,20 +6,75 @@
 //   ccov solve    --n 8 [--budget B] [--parallel]
 //                                             exact search
 //   ccov protect  --n 12 [--edge E]           loop-back failure report
+//   ccov run      --algo solve --n 9          any registered algorithm
+//   ccov sweep    --n-from 3 --n-to 15 --algo construct --jobs 4
+//                                             batch sweep, CSV/JSON out
+//   ccov algos                                list registered algorithms
+//   ccov --version                            print the version
 //
-// Exit code 0 on success / valid, 1 otherwise.
+// Exit code 0 on success / valid, 1 otherwise. Unknown subcommands print
+// the usage on stderr and exit nonzero.
 
+#include <fstream>
 #include <iostream>
+#include <ostream>
 
 #include "ccov/covering/bounds.hpp"
 #include "ccov/covering/construct.hpp"
 #include "ccov/covering/io.hpp"
 #include "ccov/covering/solver.hpp"
+#include "ccov/engine/batch.hpp"
+#include "ccov/engine/engine.hpp"
 #include "ccov/protection/simulator.hpp"
 #include "ccov/util/cli.hpp"
+#include "ccov/util/table.hpp"
 #include "ccov/wdm/network.hpp"
 
+#ifndef CCOV_VERSION
+#define CCOV_VERSION "unknown"
+#endif
+
 namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: ccov <subcommand> [flags]\n"
+        "  cover     --n N [--out F]                build the optimal "
+        "covering\n"
+        "  validate  --in F                         validate a covering "
+        "file\n"
+        "  bounds    --n N                          print rho and lower "
+        "bounds\n"
+        "  solve     --n N [--budget B] [--parallel]  exact search\n"
+        "  protect   --n N [--edge E]               loop-back failure "
+        "report\n"
+        "  run       --algo NAME --n N [--budget B] [--lambda L]\n"
+        "            [--threads K] [--no-validate] [--out F]\n"
+        "                                           run any registered "
+        "algorithm\n"
+        "  sweep     --n-from A --n-to B [--step S] --algo NAME [--jobs "
+        "K]\n"
+        "            [--budget B] [--lambda L] [--no-validate] [--timing]\n"
+        "            [--format csv|json|table] [--out F]\n"
+        "                                           batch sweep via the "
+        "engine\n"
+        "  algos                                    list registered "
+        "algorithms\n"
+        "  help                                     show this message\n"
+        "  --version                                print the version\n";
+}
+
+/// Shared request assembly for the engine-backed subcommands.
+ccov::engine::CoverRequest make_request(const ccov::util::Cli& cli,
+                                        std::uint32_t n) {
+  ccov::engine::CoverRequest req;
+  req.algorithm = cli.get("algo", "construct");
+  req.n = n;
+  req.budget = static_cast<std::uint64_t>(cli.get_int("budget", 0));
+  req.lambda = static_cast<std::uint32_t>(cli.get_int("lambda", 1));
+  req.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  req.validate = !cli.has("no-validate");
+  return req;
+}
 
 int cmd_cover(const ccov::util::Cli& cli) {
   const auto n = static_cast<std::uint32_t>(cli.get_int("n", 9));
@@ -97,10 +152,126 @@ int cmd_protect(const ccov::util::Cli& cli) {
   return 0;
 }
 
+int cmd_run(const ccov::util::Cli& cli) {
+  const auto n = static_cast<std::uint32_t>(cli.get_int("n", 9));
+  const auto req = make_request(cli, n);
+  ccov::engine::Engine engine;
+  const auto resp = engine.run(req);
+  if (!resp.ok) {
+    std::cerr << "run: " << resp.error << "\n";
+    return 1;
+  }
+  std::cout << "algo=" << resp.algorithm << " n=" << resp.n
+            << " found=" << resp.found << " exhausted=" << resp.exhausted
+            << " nodes=" << resp.nodes << " cycles=" << resp.cover.size();
+  if (resp.validated) std::cout << " valid=" << (resp.valid ? "yes" : "no");
+  std::cout << " ms=" << resp.elapsed_ms << "\n";
+  if (resp.found) {
+    const std::string out = cli.get("out", "");
+    if (!out.empty()) {
+      ccov::covering::save_cover(out, resp.cover);
+      std::cout << "saved to " << out << "\n";
+    } else {
+      for (const auto& c : resp.cover.cycles)
+        std::cout << "  " << ccov::covering::to_string(c) << "\n";
+    }
+  }
+  // Honour the documented exit contract: 0 only on success AND (when
+  // validation ran) a valid cover.
+  return resp.found && (!resp.validated || resp.valid) ? 0 : 1;
+}
+
+int cmd_sweep(const ccov::util::Cli& cli) {
+  const auto n_from = static_cast<std::uint32_t>(cli.get_int("n-from", 3));
+  const auto n_to =
+      static_cast<std::uint32_t>(cli.get_int("n-to", n_from));
+  const auto step =
+      static_cast<std::uint32_t>(cli.get_int("step", 1));
+  if (n_from < 3 || n_to < n_from || step == 0) {
+    std::cerr << "sweep: need 3 <= --n-from <= --n-to and --step >= 1\n";
+    return 1;
+  }
+  const std::string format = cli.get("format", "csv");
+  if (format != "csv" && format != "json" && format != "table") {
+    std::cerr << "sweep: --format must be csv, json or table\n";
+    return 1;
+  }
+  const bool timing = cli.has("timing");
+
+  std::vector<ccov::engine::CoverRequest> requests;
+  for (std::uint32_t n = n_from; n <= n_to; n += step)
+    requests.push_back(make_request(cli, n));
+
+  ccov::engine::Engine engine;
+  ccov::engine::BatchRunner runner(
+      engine, {static_cast<std::size_t>(cli.get_int("jobs", 0))});
+  const auto responses = runner.run(requests);
+
+  std::vector<std::string> headers = {"algo", "n",     "rho",      "cycles",
+                                      "c3",   "c4",    "found",    "exhausted",
+                                      "nodes", "valid"};
+  if (timing) headers.push_back("ms");
+  ccov::util::Table table(headers);
+  int failures = 0;
+  for (const auto& resp : responses) {
+    if (!resp.ok) {
+      ++failures;
+      std::cerr << "sweep: " << resp.algorithm << " n=" << resp.n << ": "
+                << resp.error << "\n";
+    }
+    std::vector<std::string> row = {
+        resp.algorithm,
+        std::to_string(resp.n),
+        std::to_string(ccov::covering::rho(resp.n)),
+        std::to_string(resp.cover.size()),
+        std::to_string(ccov::covering::count_c3(resp.cover)),
+        std::to_string(ccov::covering::count_c4(resp.cover)),
+        std::to_string(resp.found ? 1 : 0),
+        std::to_string(resp.exhausted ? 1 : 0),
+        std::to_string(resp.nodes),
+        !resp.ok ? "error" : (resp.validated ? (resp.valid ? "yes" : "no")
+                                             : "-")};
+    if (timing) row.push_back(std::to_string(resp.elapsed_ms));
+    table.add_row(std::move(row));
+  }
+
+  const std::string out = cli.get("out", "");
+  std::ofstream file;
+  if (!out.empty()) {
+    file.open(out);
+    if (!file) {
+      std::cerr << "sweep: cannot open " << out << " for writing\n";
+      return 1;
+    }
+  }
+  std::ostream& os = out.empty() ? std::cout : file;
+  if (format == "csv") {
+    table.write_csv(os);
+  } else if (format == "json") {
+    table.write_json(os);
+  } else {
+    table.print(os, "sweep " + cli.get("algo", "construct"));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_algos() {
+  const auto& reg = ccov::engine::AlgorithmRegistry::global();
+  ccov::util::Table t({"name", "description"});
+  for (const auto& name : reg.names())
+    t.add(name, reg.find(name)->description);
+  t.print(std::cout, "registered algorithms");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const ccov::util::Cli cli(argc, argv);
+  if (cli.has("version")) {
+    std::cout << "ccov " << CCOV_VERSION << "\n";
+    return 0;
+  }
   const auto& pos = cli.positional();
   const std::string cmd = pos.empty() ? "help" : pos[0];
   try {
@@ -109,11 +280,18 @@ int main(int argc, char** argv) {
     if (cmd == "bounds") return cmd_bounds(cli);
     if (cmd == "solve") return cmd_solve(cli);
     if (cmd == "protect") return cmd_protect(cli);
+    if (cmd == "run") return cmd_run(cli);
+    if (cmd == "sweep") return cmd_sweep(cli);
+    if (cmd == "algos") return cmd_algos();
   } catch (const std::exception& e) {
     std::cerr << "ccov " << cmd << ": " << e.what() << "\n";
     return 1;
   }
-  std::cout << "usage: ccov <cover|validate|bounds|solve|protect> [--n N] "
-               "[--in F] [--out F] [--budget B] [--parallel] [--edge E]\n";
-  return cmd == "help" ? 0 : 1;
+  if (cmd == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
+  std::cerr << "ccov: unknown subcommand '" << cmd << "'\n";
+  print_usage(std::cerr);
+  return 1;
 }
