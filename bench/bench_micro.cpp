@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <string_view>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "ccov/covering/construct.hpp"
 #include "ccov/covering/drc.hpp"
 #include "ccov/covering/greedy.hpp"
+#include "ccov/covering/solver.hpp"
 #include "ccov/protection/simulator.hpp"
 #include "ccov/wdm/network.hpp"
 
@@ -65,8 +67,70 @@ BENCHMARK(BM_DrcRoute)->Arg(64)->Arg(1024);
 static void BM_GreedyCover(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) benchmark::DoNotOptimize(covering::greedy_cover(n));
+  // items/s = chords covered per second (the greedy's unit of work).
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * (n - 1) / 2);
 }
-BENCHMARK(BM_GreedyCover)->Arg(10)->Arg(20)->Arg(30);
+BENCHMARK(BM_GreedyCover)->Arg(10)->Arg(20)->Arg(30)->Arg(64)->Arg(128);
+
+// The exact-search kernels. items/s reports branch nodes per second, so a
+// regression that re-introduces per-node allocation or rescans shows up as
+// a nodes/s collapse even if the node counts stay pinned. These are
+// registered dynamically in main(): the heavy n=12 searches (~40M nodes)
+// join only when --quick is absent, giving the CI smoke a fast subset.
+
+static void BM_SolveMinimum(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  // solve_minimum does not expose node counts; its dominant cost is the
+  // final infeasibility proof one below the construction size, whose
+  // deterministic node count we measure once per argument (the benchmark
+  // function itself reruns while the framework calibrates iterations).
+  static std::map<std::uint32_t, std::uint64_t> probe_cache;
+  auto it = probe_cache.find(n);
+  if (it == probe_cache.end()) {
+    const std::uint64_t probe_budget =
+        covering::build_optimal_cover(n).size() - 1;
+    it = probe_cache
+             .emplace(n, covering::solve_with_budget(n, probe_budget).nodes)
+             .first;
+  }
+  const std::uint64_t probe_nodes = it->second;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(covering::solve_minimum(n));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(probe_nodes));
+}
+
+static void BM_SolveBudgetParallel(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  // Full infeasibility proof at one below rho(n).
+  const std::uint64_t budget = covering::rho(n) - 1;
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    const auto res = covering::solve_with_budget_parallel(n, budget);
+    benchmark::DoNotOptimize(res);
+    nodes += res.nodes;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(nodes));
+}
+
+static void register_solver_benchmarks(bool quick) {
+  auto* solve_min =
+      benchmark::RegisterBenchmark("BM_SolveMinimum", BM_SolveMinimum)
+          ->Unit(benchmark::kMillisecond)
+          ->Arg(7)
+          ->Arg(8);
+  auto* solve_par = benchmark::RegisterBenchmark("BM_SolveBudgetParallel",
+                                                 BM_SolveBudgetParallel)
+                        ->Unit(benchmark::kMillisecond)
+                        ->UseRealTime()  // work happens on pool threads
+                        ->Arg(8);
+  if (!quick) {
+    solve_min->Arg(12);
+    solve_par->Arg(12);
+  }
+}
 
 static void BM_LoopbackSimulation(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
@@ -111,6 +175,7 @@ int main(int argc, char** argv) {
     args.push_back(argv[i]);
   }
   if (quick && !has_min_time) args.push_back(quick_min_time);
+  register_solver_benchmarks(quick);
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;

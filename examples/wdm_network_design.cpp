@@ -47,9 +47,11 @@ int main(int argc, char** argv) {
 
   // Export the logical covering as DOT for documentation.
   graph::Graph logical(n);
+  const auto add_chord = [&](covering::Vertex u, covering::Vertex v) {
+    logical.add_edge(u, v);
+  };
   for (const auto& s : net.subnetworks())
-    for (const auto& [u, v] : covering::cycle_chords(s.cycle))
-      logical.add_edge(u, v);
+    covering::for_each_chord(s.cycle, add_chord);
   std::ofstream dot("wdm_subnetworks.dot");
   graph::write_dot(dot, logical, "subnetworks");
   std::cout << "wrote wdm_subnetworks.dot (logical sub-network edges)\n";

@@ -45,6 +45,10 @@ ValidationReport validate_cover(const RingCover& cover);
 ValidationReport validate_cover_against(const RingCover& cover,
                                         const graph::Graph& demand);
 
+/// Concatenated rendering of every cycle, "(0 1 2)(0 2 3)...": a compact
+/// byte-comparable fingerprint of a cover, used by the golden tests.
+std::string to_string(const RingCover& cover);
+
 /// Human-readable one-line summary: "n=9: 10 cycles (3 C3, 7 C4), valid".
 std::string summary(const RingCover& cover);
 

@@ -14,6 +14,7 @@ RingCover greedy_cover(std::uint32_t n);
 
 /// Greedy covering of an arbitrary demand graph over C_n (used by the
 /// tree-of-rings extension, where per-ring demands are not complete).
+/// Throws std::invalid_argument if the demand mentions a vertex >= n.
 RingCover greedy_cover_demand(std::uint32_t n, const graph::Graph& demand);
 
 }  // namespace ccov::covering

@@ -42,12 +42,31 @@ std::optional<std::pair<std::uint64_t, RingCover>> solve_minimum(
     std::uint32_t n, const SolverOptions& opts = {});
 
 /// Parallel variant: fans the root branching (the candidate cycles through
-/// chord (0, 1)) across a thread pool; each worker explores its subtree
-/// with an independent node budget. Results are identical to the serial
-/// search (first witness found wins; exhausted iff every subtree was).
+/// chord (0, 1)) across a thread pool. All workers draw from one shared
+/// atomic node budget (`opts.max_nodes` total, like the serial search —
+/// not per worker), and the returned witness is always the one from the
+/// lowest successful root subtree, i.e. exactly the cover the serial
+/// search returns. Whenever the node budget is not exhausted, `nodes`
+/// and `cover` are byte-identical to solve_with_budget; workers that can
+/// no longer produce the winning subtree cancel themselves early. If a
+/// subtree below the winner was starved by the shared budget, the
+/// witness is still a valid cover but may differ from the serial one,
+/// and the result reports `exhausted == false` to flag the truncation.
 /// `threads == 0` selects hardware concurrency.
 SolverResult solve_with_budget_parallel(std::uint32_t n, std::uint64_t budget,
                                         const SolverOptions& opts = {},
                                         std::size_t threads = 0);
+
+namespace detail {
+
+/// Testing hook: the exact candidate branching list the search uses for
+/// chord (a, b) of K_n in the initial (all-uncovered) state — duplicate
+/// free, every cycle containing (a, b) as an edge, ordered by freshness
+/// (stable on the lexicographic generation order). Allocates; the real
+/// search writes the same sequence into a preallocated arena.
+std::vector<Cycle> candidate_cycles(std::uint32_t n, Vertex a, Vertex b,
+                                    const SolverOptions& opts = {});
+
+}  // namespace detail
 
 }  // namespace ccov::covering

@@ -52,7 +52,7 @@ ValidationReport validate_impl(const RingCover& cover,
         rep.error = "cycle " + to_string(c) + " violates the DRC";
       continue;
     }
-    for (const auto& ch : cycle_chords(c)) covered[ch] += 1;
+    for_each_chord(c, [&](Vertex u, Vertex v) { covered[{u, v}] += 1; });
   }
   if (rep.non_drc_cycles > 0) return rep;
 
@@ -93,6 +93,12 @@ ValidationReport validate_cover_against(const RingCover& cover,
   std::map<std::pair<Vertex, Vertex>, std::uint32_t> d;
   for (const auto& e : demand.edges()) d[{e.u, e.v}] += 1;
   return validate_impl(cover, d);
+}
+
+std::string to_string(const RingCover& cover) {
+  std::string s;
+  for (const Cycle& c : cover.cycles) s += to_string(c);
+  return s;
 }
 
 std::string summary(const RingCover& cover) {

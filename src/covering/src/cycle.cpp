@@ -18,12 +18,7 @@ bool is_valid_cycle(const Cycle& c, std::uint32_t n) {
 std::vector<std::pair<Vertex, Vertex>> cycle_chords(const Cycle& c) {
   std::vector<std::pair<Vertex, Vertex>> out;
   out.reserve(c.size());
-  for (std::size_t i = 0; i < c.size(); ++i) {
-    Vertex u = c[i];
-    Vertex v = c[(i + 1) % c.size()];
-    if (u > v) std::swap(u, v);
-    out.emplace_back(u, v);
-  }
+  for_each_chord(c, [&](Vertex u, Vertex v) { out.emplace_back(u, v); });
   return out;
 }
 

@@ -1,8 +1,9 @@
 #include "ccov/covering/greedy.hpp"
 
-#include <algorithm>
-#include <set>
+#include <stdexcept>
+#include <string>
 
+#include "ccov/covering/chord_bitset.hpp"
 #include "ccov/graph/generators.hpp"
 #include "ccov/ring/ring.hpp"
 
@@ -10,30 +11,46 @@ namespace ccov::covering {
 
 namespace {
 
-using ChordSet = std::set<std::pair<Vertex, Vertex>>;
+// The uncovered chords live in a ChordBitset (the same packed
+// representation the exact solver uses): membership is a single bit
+// probe instead of a std::set<std::pair> lookup, and the
+// lexicographically first uncovered chord is a word scan. Candidate
+// cycles are built in fixed-capacity SmallCycles, so a full greedy run
+// allocates nothing beyond the bitset and the returned cover.
 
-std::pair<Vertex, Vertex> norm_chord(Vertex a, Vertex b) {
-  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+SmallCycle sorted3(Vertex a, Vertex b, Vertex c) {
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  if (a > b) std::swap(a, b);
+  return {a, b, c};
+}
+
+SmallCycle sorted4(Vertex a, Vertex b, Vertex c, Vertex d) {
+  if (a > b) std::swap(a, b);
+  if (c > d) std::swap(c, d);
+  if (a > c) std::swap(a, c);
+  if (b > d) std::swap(b, d);
+  if (b > c) std::swap(b, c);
+  return {a, b, c, d};
+}
+
+int fresh(const ChordBitset& uncovered, const SmallCycle& c) {
+  int f = 0;
+  for_each_chord(c, [&](Vertex u, Vertex v) { f += uncovered.test(u, v); });
+  return f;
 }
 
 /// Best C3/C4 through chord (a, b): greedily extend with the vertex adding
 /// the most uncovered chords; O(n) per step.
-Cycle best_cycle_through(const ring::Ring& r, Vertex a, Vertex b,
-                         const ChordSet& uncovered) {
+SmallCycle best_cycle_through(const ring::Ring& r, Vertex a, Vertex b,
+                              const ChordBitset& uncovered) {
   const std::uint32_t n = r.size();
-  auto fresh = [&](const Cycle& c) {
-    int f = 0;
-    for (std::size_t i = 0; i < c.size(); ++i)
-      f += uncovered.count(norm_chord(c[i], c[(i + 1) % c.size()])) ? 1 : 0;
-    return f;
-  };
-  Cycle best;
+  SmallCycle best;
   int best_fresh = -1;
   for (Vertex w = 0; w < n; ++w) {
     if (w == a || w == b) continue;
-    Cycle tri{a, b, w};
-    std::sort(tri.begin(), tri.end());
-    const int f3 = fresh(tri);
+    const SmallCycle tri = sorted3(a, b, w);
+    const int f3 = fresh(uncovered, tri);
     if (f3 > best_fresh) {
       best_fresh = f3;
       best = tri;
@@ -45,9 +62,8 @@ Cycle best_cycle_through(const ring::Ring& r, Vertex a, Vertex b,
       const bool same_ab = (r.cw_dist(a, w) < r.cw_dist(a, b)) ==
                            (r.cw_dist(a, z) < r.cw_dist(a, b));
       if (!same_ab) continue;
-      Cycle quad{a, b, w, z};
-      std::sort(quad.begin(), quad.end());
-      const int f4 = fresh(quad);
+      const SmallCycle quad = sorted4(a, b, w, z);
+      const int f4 = fresh(uncovered, quad);
       if (f4 > best_fresh) {
         best_fresh = f4;
         best = quad;
@@ -57,16 +73,21 @@ Cycle best_cycle_through(const ring::Ring& r, Vertex a, Vertex b,
   return best;
 }
 
-RingCover greedy_impl(std::uint32_t n, ChordSet uncovered) {
+RingCover greedy_impl(std::uint32_t n, ChordBitset uncovered,
+                      std::size_t remaining) {
   const ring::Ring r(n);
   RingCover cover;
   cover.n = n;
-  while (!uncovered.empty()) {
-    const auto [a, b] = *uncovered.begin();
-    Cycle c = best_cycle_through(r, a, b, uncovered);
-    for (std::size_t i = 0; i < c.size(); ++i)
-      uncovered.erase(norm_chord(c[i], c[(i + 1) % c.size()]));
-    cover.cycles.push_back(std::move(c));
+  Vertex a = 0, b = 0;
+  while (remaining > 0 && uncovered.first(a, b)) {
+    const SmallCycle c = best_cycle_through(r, a, b, uncovered);
+    for_each_chord(c, [&](Vertex u, Vertex v) {
+      if (uncovered.test(u, v)) {
+        uncovered.clear(u, v);
+        --remaining;
+      }
+    });
+    cover.cycles.push_back(c.to_cycle());
   }
   return cover;
 }
@@ -74,16 +95,28 @@ RingCover greedy_impl(std::uint32_t n, ChordSet uncovered) {
 }  // namespace
 
 RingCover greedy_cover(std::uint32_t n) {
-  ChordSet uncovered;
-  for (Vertex a = 0; a < n; ++a)
-    for (Vertex b = a + 1; b < n; ++b) uncovered.insert({a, b});
-  return greedy_impl(n, std::move(uncovered));
+  ChordBitset uncovered(n);
+  uncovered.set_all_chords();
+  return greedy_impl(n, std::move(uncovered),
+                     static_cast<std::size_t>(n) * (n - 1) / 2);
 }
 
 RingCover greedy_cover_demand(std::uint32_t n, const graph::Graph& demand) {
-  ChordSet uncovered;
-  for (const auto& e : demand.edges()) uncovered.insert(norm_chord(e.u, e.v));
-  return greedy_impl(n, std::move(uncovered));
+  ChordBitset uncovered(n);
+  std::size_t remaining = 0;
+  for (const auto& e : demand.edges()) {
+    if (e.u >= n || e.v >= n)
+      throw std::invalid_argument(
+          "greedy_cover_demand: demand vertex out of range for ring size " +
+          std::to_string(n));
+    const Vertex u = e.u < e.v ? e.u : e.v;
+    const Vertex v = e.u < e.v ? e.v : e.u;
+    if (!uncovered.test(u, v)) {
+      uncovered.set(u, v);
+      ++remaining;
+    }
+  }
+  return greedy_impl(n, std::move(uncovered), remaining);
 }
 
 }  // namespace ccov::covering

@@ -105,7 +105,8 @@ void register_builtin_algorithms(AlgorithmRegistry& reg) {
            nullptr});
 
   reg.add({"solve-parallel",
-           "exact search with the root branching fanned across --threads",
+           "exact search fanned across --threads (shared node budget, "
+           "witness identical to solve)",
            true,
            [](const CoverRequest& req) {
              require_all_to_all(req, "solve-parallel");

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
+#include "ccov/covering/chord_bitset.hpp"
 #include "ccov/covering/cycle.hpp"
 #include "ccov/covering/drc.hpp"
 #include "ccov/ring/tiling.hpp"
@@ -7,6 +11,64 @@
 
 using namespace ccov::covering;
 using ccov::ring::Ring;
+
+TEST(SmallCycle, ConvertsToCycleAtBoundary) {
+  const SmallCycle tri(4, 0, 2);
+  EXPECT_EQ(tri.size(), 3u);
+  EXPECT_EQ(tri.to_cycle(), (Cycle{4, 0, 2}));
+  SmallCycle quad(1, 3, 5, 7);
+  quad[0] = 0;
+  EXPECT_EQ(quad.to_cycle(), (Cycle{0, 3, 5, 7}));
+  EXPECT_EQ(SmallCycle(1, 2, 3), SmallCycle(1, 2, 3));
+  EXPECT_FALSE(SmallCycle(1, 2, 3) == SmallCycle(1, 2, 3, 4));
+}
+
+TEST(ForEachChord, MatchesCycleChordsOnBothRepresentations) {
+  const Cycle heap{3, 0, 4, 6};
+  const SmallCycle inline_c(3, 0, 4, 6);
+  std::vector<std::pair<Vertex, Vertex>> from_heap, from_small;
+  for_each_chord(heap, [&](Vertex u, Vertex v) {
+    from_heap.emplace_back(u, v);
+  });
+  for_each_chord(inline_c, [&](Vertex u, Vertex v) {
+    from_small.emplace_back(u, v);
+  });
+  EXPECT_EQ(from_heap, cycle_chords(heap));
+  EXPECT_EQ(from_small, cycle_chords(heap));
+}
+
+TEST(ChordBitsetTest, SetClearFirstCount) {
+  ChordBitset bits(9);
+  EXPECT_TRUE(bits.none());
+  bits.set_all_chords();
+  EXPECT_EQ(bits.count(), 9u * 8 / 2);
+  Vertex a = 99, b = 99;
+  ASSERT_TRUE(bits.first(a, b));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  bits.clear(0, 1);
+  EXPECT_FALSE(bits.test(0, 1));
+  ASSERT_TRUE(bits.first(a, b));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 2u);
+  bits.set(0, 1);
+  EXPECT_TRUE(bits.test(0, 1));
+}
+
+TEST(ChordBitsetTest, FirstScansAcrossWordBoundaries) {
+  // n = 12 spans three 64-bit words; leave only a late chord set.
+  ChordBitset bits(12);
+  bits.set(10, 11);  // bit index 131, in the third word
+  EXPECT_FALSE(bits.none());
+  EXPECT_EQ(bits.count(), 1u);
+  Vertex a = 0, b = 0;
+  ASSERT_TRUE(bits.first(a, b));
+  EXPECT_EQ(a, 10u);
+  EXPECT_EQ(b, 11u);
+  bits.clear(10, 11);
+  EXPECT_FALSE(bits.first(a, b));
+  EXPECT_TRUE(bits.none());
+}
 
 TEST(Cycle, ValidityChecks) {
   EXPECT_TRUE(is_valid_cycle({0, 1, 2}, 5));

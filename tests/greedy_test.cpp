@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "ccov/covering/bounds.hpp"
 #include "ccov/covering/greedy.hpp"
 #include "ccov/graph/generators.hpp"
@@ -30,6 +33,23 @@ INSTANTIATE_TEST_SUITE_P(Sweep, GreedyParam,
                          ::testing::Values(4, 5, 6, 7, 8, 9, 10, 12, 15, 20,
                                            25, 31));
 
+// The greedy's pick order (lexicographically first uncovered chord, then
+// the freshest C3/C4 through it with ascending-vertex tie-break) is pinned
+// byte-for-byte: the bitset rewrite of the chord set must reproduce the
+// std::set-based covers exactly, and these goldens catch any future drift.
+TEST(GreedyGolden, CoverPinnedOnK10) {
+  EXPECT_EQ(to_string(greedy_cover(10)),
+            "(0 1 2 3)(0 2 4 5)(0 4 6 7)(0 6 8 9)(0 1 3 8)(1 4 7 8)"
+            "(1 5 6 9)(1 2 6)(1 2 5 7)(2 7 9)(2 3 4 8)(3 5 8 9)(3 6 7)"
+            "(4 5 9)");
+}
+
+TEST(GreedyGolden, DemandCoverPinnedOnStar8) {
+  const auto cover =
+      greedy_cover_demand(8, ccov::graph::star_graph(8));
+  EXPECT_EQ(to_string(cover), "(0 1 2)(0 3 4)(0 5 6)(0 1 7)");
+}
+
 TEST(GreedyDemand, CoversSparseDemand) {
   ccov::graph::Graph demand(10);
   demand.add_edge(0, 5);
@@ -43,6 +63,15 @@ TEST(GreedyDemand, CoversSparseDemand) {
 TEST(GreedyDemand, EmptyDemandEmptyCover) {
   ccov::graph::Graph demand(8);
   EXPECT_EQ(greedy_cover_demand(8, demand).size(), 0u);
+}
+
+TEST(GreedyDemand, OutOfRangeDemandVertexThrows) {
+  // Graph::add_edge auto-grows the vertex set, so a demand built for a
+  // larger instance can reach a smaller ring; the bitset is sized for n
+  // and must reject it instead of indexing out of bounds.
+  ccov::graph::Graph demand(5);
+  demand.add_edge(0, 100);
+  EXPECT_THROW(greedy_cover_demand(5, demand), std::invalid_argument);
 }
 
 TEST(GreedyDemand, MultigraphDemandCoveredWithMultiplicity) {
