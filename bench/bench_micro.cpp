@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "ccov/covering/drc.hpp"
 #include "ccov/covering/greedy.hpp"
 #include "ccov/covering/solver.hpp"
+#include "ccov/engine/cache.hpp"
 #include "ccov/protection/simulator.hpp"
 #include "ccov/wdm/network.hpp"
 
@@ -131,6 +134,54 @@ static void register_solver_benchmarks(bool quick) {
     solve_par->Arg(12);
   }
 }
+
+// Concurrent cover-cache lookups: the serve loop's hot path. The range
+// argument is the shard count, so the run compares a single global lock
+// (shards = 1) against the lock-striped layout under the same thread
+// count. items/s = lookups per second across all threads.
+static void BM_CoverCacheLookup(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  static std::mutex init_mu;
+  static std::map<std::size_t, std::unique_ptr<engine::CoverCache>> caches;
+  static std::vector<engine::CanonicalKey> keys;
+  {
+    // All benchmark threads enter concurrently; whichever arrives first
+    // builds the cache for this shard count.
+    std::lock_guard lk(init_mu);
+    if (!caches.count(shards)) {
+      // Per-shard capacity (256 / 8 = 32) holds all 32 keys even under a
+      // fully skewed hash, so every lookup is a hit on every platform.
+      auto cache = std::make_unique<engine::CoverCache>(256, shards);
+      if (keys.empty()) {
+        for (std::uint32_t n = 3; n <= 34; ++n) {
+          engine::CoverRequest req;
+          req.algorithm = "construct";
+          req.n = n;
+          keys.push_back(engine::canonical_request_key(req));
+        }
+      }
+      for (std::size_t k = 0; k < keys.size(); ++k) {
+        engine::CoverResponse resp;
+        resp.ok = true;
+        resp.found = true;
+        resp.algorithm = "construct";
+        resp.cover = covering::build_optimal_cover(
+            static_cast<std::uint32_t>(3 + k));
+        resp.n = resp.cover.n;
+        cache->insert(keys[k], resp);
+      }
+      caches[shards] = std::move(cache);
+    }
+  }
+  engine::CoverCache& cache = *caches.at(shards);
+  std::size_t i = state.thread_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(keys[i % keys.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoverCacheLookup)->Arg(1)->Arg(8)->Threads(1)->Threads(4);
 
 static void BM_LoopbackSimulation(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

@@ -12,7 +12,7 @@
 #include "ccov/util/cli.hpp"
 #include "ccov/util/table.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const ccov::util::Cli cli(argc, argv);
   const auto max_n = static_cast<std::uint32_t>(cli.get_int("max-n", 32));
   const auto lambda = static_cast<std::uint32_t>(cli.get_int("lambda", 2));
@@ -35,4 +35,7 @@ int main(int argc, char** argv) {
                "n^2/8 — double the ring size, quadruple the wavelength "
                "budget.\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "capacity_planning: " << e.what() << "\n";
+  return 1;
 }

@@ -9,7 +9,7 @@
 #include "ccov/covering/construct.hpp"
 #include "ccov/util/cli.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const ccov::util::Cli cli(argc, argv);
   const auto n = static_cast<std::uint32_t>(cli.get_int("n", 9));
 
@@ -27,4 +27,7 @@ int main(int argc, char** argv) {
             << " (duplicate coverage slots: " << rep.duplicate_coverage
             << ")\n";
   return rep.ok ? 0 : 1;
+} catch (const std::exception& e) {
+  std::cerr << "quickstart: " << e.what() << "\n";
+  return 1;
 }

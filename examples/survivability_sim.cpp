@@ -12,7 +12,7 @@
 #include "ccov/util/table.hpp"
 #include "ccov/wdm/network.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const ccov::util::Cli cli(argc, argv);
   const auto n = static_cast<std::uint32_t>(cli.get_int("n", 12));
 
@@ -44,4 +44,7 @@ int main(int argc, char** argv) {
             << (avg_rs.recovery_time_ms / avg_lb.recovery_time_ms)
             << "x faster on this ring.\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "survivability_sim: " << e.what() << "\n";
+  return 1;
 }

@@ -14,7 +14,7 @@
 #include "ccov/wdm/cost.hpp"
 #include "ccov/wdm/network.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const ccov::util::Cli cli(argc, argv);
   const auto n = static_cast<std::uint32_t>(cli.get_int("n", 13));
 
@@ -56,4 +56,7 @@ int main(int argc, char** argv) {
   graph::write_dot(dot, logical, "subnetworks");
   std::cout << "wrote wdm_subnetworks.dot (logical sub-network edges)\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "wdm_network_design: " << e.what() << "\n";
+  return 1;
 }

@@ -1,19 +1,28 @@
 #pragma once
 /// \file cache.hpp
-/// Thread-safe LRU cache of CoverResponses keyed on canonicalized
-/// requests. The ring's automorphism group D_n acts on demand graphs;
-/// requests whose demands are rotations/reflections of each other share
-/// one cache entry: the stored cover lives in the canonical frame and is
-/// mapped back through the group element on every hit (reusing
+/// Thread-safe, lock-striped LRU cache of CoverResponses keyed on
+/// canonicalized requests. The ring's automorphism group D_n acts on
+/// demand graphs; requests whose demands are rotations/reflections of each
+/// other share one entry: the stored cover lives in the canonical frame
+/// and is mapped back through the group element on every hit (reusing
 /// canonical.hpp's rotate_cover/reflect_cover). All-to-all requests are
 /// D_n-invariant, so their key is just the scalar request fields.
+///
+/// The cache is sharded: the key hash selects one of N independent
+/// shards, each with its own mutex and LRU list, so concurrent lookups
+/// do not serialize on a single lock. Aggregate hit/miss/eviction
+/// counters are atomics updated outside the shard locks. The store can
+/// be persisted to a binary snapshot and warm-started — see store.hpp.
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "ccov/engine/request.hpp"
 
@@ -46,8 +55,18 @@ covering::RingCover apply_inverse(const covering::RingCover& cover,
 
 class CoverCache {
  public:
-  /// \p capacity entries; least-recently-used eviction beyond that.
-  explicit CoverCache(std::size_t capacity = 256);
+  /// Shard count used when none is given. Small enough that tiny caches
+  /// stay sensible (the count is clamped to the capacity), large enough
+  /// that a serve loop's worker threads rarely contend on one stripe.
+  static constexpr std::size_t kDefaultShards = 8;
+
+  /// \p capacity total entries across all shards; least-recently-used
+  /// eviction per shard beyond its slice. \p shards is clamped to
+  /// [1, capacity]; the capacity is split exactly across shards (the
+  /// first capacity % shards shards hold one extra entry). shards = 1
+  /// gives a single strict-LRU list.
+  explicit CoverCache(std::size_t capacity = 256,
+                      std::size_t shards = kDefaultShards);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -61,7 +80,7 @@ class CoverCache {
   std::optional<CoverResponse> lookup(const CoverRequest& req);
 
   /// Store a completed response (its cover is kept in the canonical
-  /// frame). Failed responses (!ok) are not cached.
+  /// frame). Only deterministic outcomes are cached — see should_cache.
   void insert(const CoverRequest& req, const CoverResponse& resp);
 
   /// Overloads taking a precomputed key, so a miss-then-insert round trip
@@ -69,10 +88,28 @@ class CoverCache {
   std::optional<CoverResponse> lookup(const CanonicalKey& ck);
   void insert(const CanonicalKey& ck, const CoverResponse& resp);
 
+  /// The caching policy: positive results (ok && found) and deterministic
+  /// infeasibility proofs (ok && !found && exhausted — the search space
+  /// was fully explored, so the answer can never change) are cached.
+  /// Genuine errors (!ok) and budget-starved non-answers (ok && !found &&
+  /// !exhausted) are transient and stay uncached.
+  static bool should_cache(const CoverResponse& resp);
+
   Stats stats() const;
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
   void clear();
+
+  /// Every (key, canonical-frame response) pair, sorted by key — the
+  /// deterministic entry order the snapshot writer relies on. LRU
+  /// recency is not part of the export.
+  std::vector<std::pair<std::string, CoverResponse>> export_entries() const;
+
+  /// Insert one canonical-frame entry without touching the hit/miss
+  /// counters (snapshot warm-start path). Entries beyond the target
+  /// shard's slice evict its LRU tail as usual.
+  void import_entry(const std::string& key, CoverResponse resp);
 
  private:
   struct Entry {
@@ -80,11 +117,22 @@ class CoverCache {
     CoverResponse resp;  ///< cover stored in the canonical frame
   };
 
+  struct Shard {
+    std::size_t capacity = 1;
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& shard_for(const std::string& key);
+  /// Store `resp` (already in the canonical frame) under `key`.
+  void store(const std::string& key, CoverResponse resp);
+
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  Stats stats_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace ccov::engine

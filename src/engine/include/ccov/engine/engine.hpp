@@ -2,22 +2,33 @@
 /// \file engine.hpp
 /// The unified solver engine: one entry point through which every cover
 /// request flows. run() resolves the algorithm by name, consults the
-/// canonical CoverCache, executes, validates, and times the request. The
-/// engine is thread-safe; BatchRunner fans requests across it.
+/// sharded CoverCache, executes, validates, and times the request. The
+/// engine is thread-safe; BatchRunner fans requests across it using the
+/// engine's shared thread pool (created lazily, reused by every batch —
+/// a serve loop never pays per-call pool construction).
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 
 #include "ccov/engine/cache.hpp"
 #include "ccov/engine/registry.hpp"
 #include "ccov/engine/request.hpp"
+#include "ccov/util/thread_pool.hpp"
 
 namespace ccov::engine {
 
 struct EngineOptions {
   /// Serve repeated (D_n-equivalent) requests from the cache.
   bool use_cache = true;
-  /// LRU capacity of the cover cache.
+  /// Total LRU capacity of the cover cache, across all shards.
   std::size_t cache_capacity = 256;
+  /// Lock-striped shards of the cover cache (clamped to the capacity).
+  std::size_t cache_shards = CoverCache::kDefaultShards;
+  /// Threads in the shared pool; 0 selects hardware concurrency. The
+  /// pool is created on first use (Engine::pool), so engines that never
+  /// batch never spawn a thread.
+  std::size_t pool_threads = 0;
 };
 
 class Engine {
@@ -29,6 +40,11 @@ class Engine {
   /// names and invalid parameters come back as ok = false responses.
   CoverResponse run(const CoverRequest& req);
 
+  /// The engine's shared thread pool, created on first call and reused
+  /// for the engine's lifetime. Concurrent batches isolate themselves
+  /// with util::TaskGroup tokens.
+  util::ThreadPool& pool();
+
   const AlgorithmRegistry& registry() const { return registry_; }
   CoverCache& cache() { return cache_; }
   const CoverCache& cache() const { return cache_; }
@@ -37,6 +53,8 @@ class Engine {
   EngineOptions opts_;
   AlgorithmRegistry& registry_;
   CoverCache cache_;
+  std::once_flag pool_once_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace ccov::engine

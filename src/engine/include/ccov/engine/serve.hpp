@@ -1,0 +1,62 @@
+#pragma once
+/// \file serve.hpp
+/// The `ccov serve` protocol: JSONL requests in, JSONL responses out,
+/// one output line per input line, in input order. Compute requests are
+/// flat JSON objects ({"algo":"solve","n":8,...}); control verbs are
+/// {"op":"stats"|"save"|"clear"}. See src/engine/README.md for the full
+/// protocol. The parser and renderers are exposed so tests can drive
+/// them without a process boundary; serve_loop is the actual loop the
+/// CLI wires to stdin/stdout.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "ccov/engine/engine.hpp"
+#include "ccov/engine/request.hpp"
+
+namespace ccov::engine {
+
+/// One parsed input line: either a cover request or a control verb.
+struct ServeCommand {
+  enum class Kind { kRequest, kStats, kSave, kClear };
+  Kind kind = Kind::kRequest;
+  CoverRequest req;  ///< populated when kind == kRequest
+};
+
+/// Parse one JSONL line. Returns false (and sets *error) on malformed
+/// JSON, unknown keys, or out-of-domain values; never throws.
+bool parse_serve_line(const std::string& line, ServeCommand* cmd,
+                      std::string* error);
+
+/// Render a response as one JSON line (no trailing newline). Contains
+/// only reproducible fields plus cache_hit — never timing — so streams
+/// are byte-identical across --jobs values.
+std::string serve_response_line(std::uint64_t id, const CoverResponse& resp);
+
+/// Render a protocol-level failure (parse error, bad control verb).
+std::string serve_error_line(std::uint64_t id, const std::string& error);
+
+/// Render the cache statistics for the `stats` control verb.
+std::string serve_stats_line(std::uint64_t id, const CoverCache& cache);
+
+struct ServeOptions {
+  /// Worker threads per flushed batch (BatchRunner semantics: 0 =
+  /// hardware concurrency, 1 = inline).
+  std::size_t jobs = 1;
+  /// Consecutive compute requests buffered before a flush. 1 answers
+  /// every line immediately (interactive); larger batches let --jobs
+  /// overlap independent requests. Control verbs and EOF always flush.
+  std::size_t batch = 1;
+  /// Snapshot path for the `save` control verb and the save-on-exit in
+  /// the CLI wrapper; empty disables `save`.
+  std::string cache_file;
+};
+
+/// Run the serve loop until EOF on `in`. Emits exactly one response line
+/// per input line, in input order (blank lines are ignored). Returns 0;
+/// protocol-level errors are reported in-band as {"ok":false,...} lines.
+int serve_loop(std::istream& in, std::ostream& out, Engine& engine,
+               const ServeOptions& opts);
+
+}  // namespace ccov::engine

@@ -1,5 +1,7 @@
 #include "ccov/engine/batch.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <exception>
 #include <unordered_map>
 
@@ -44,9 +46,25 @@ std::vector<CoverResponse> BatchRunner::run(
       repeats.push_back(i);
     }
   }
-  util::ThreadPool pool(opts_.jobs);
-  util::parallel_for(pool, 0, primaries.size(),
-                     [&](std::size_t k) { run_one(primaries[k]); });
+
+  // Fan the primaries across the engine's shared pool: `jobs` pulling
+  // workers bound the batch's concurrency even when the pool is larger,
+  // and the TaskGroup token keeps this batch isolated from any other
+  // batch running on the same pool.
+  util::ThreadPool& pool = engine_.pool();
+  const std::size_t jobs = opts_.jobs == 0 ? pool.size() : opts_.jobs;
+  const std::size_t workers = std::min(jobs, primaries.size());
+  std::atomic<std::size_t> next{0};
+  util::TaskGroup group;
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit(group, [&] {
+      for (std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+           k < primaries.size();
+           k = next.fetch_add(1, std::memory_order_relaxed))
+        run_one(primaries[k]);
+    });
+  }
+  group.wait();
   for (const std::size_t i : repeats) run_one(i);
   return results;
 }

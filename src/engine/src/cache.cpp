@@ -1,6 +1,7 @@
 #include "ccov/engine/cache.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <sstream>
 #include <utility>
 
@@ -85,23 +86,40 @@ covering::RingCover apply_inverse(const covering::RingCover& cover,
   return g.reflect ? covering::reflect_cover(tmp) : tmp;
 }
 
-CoverCache::CoverCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+CoverCache::CoverCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      shards_(std::clamp<std::size_t>(shards, 1, capacity_)) {
+  // Split the capacity exactly: base slice everywhere, one extra entry in
+  // the first capacity % shards shards.
+  const std::size_t count = shards_.size();
+  const std::size_t base = capacity_ / count;
+  const std::size_t extra = capacity_ % count;
+  for (std::size_t i = 0; i < count; ++i)
+    shards_[i].capacity = base + (i < extra ? 1 : 0);
+}
+
+CoverCache::Shard& CoverCache::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
 
 std::optional<CoverResponse> CoverCache::lookup(const CoverRequest& req) {
   return lookup(canonical_request_key(req));
 }
 
 std::optional<CoverResponse> CoverCache::lookup(const CanonicalKey& ck) {
-  std::lock_guard lk(mu_);
-  const auto it = index_.find(ck.key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return std::nullopt;
+  Shard& shard = shard_for(ck.key);
+  CoverResponse resp;
+  {
+    std::lock_guard lk(shard.mu);
+    const auto it = shard.index.find(ck.key);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
+    resp = it->second->resp;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
-  ++stats_.hits;
-  CoverResponse resp = it->second->resp;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   // Map the canonical-frame cover back into the request's own frame.
   if (resp.found) resp.cover = apply_inverse(resp.cover, ck.to_canonical);
   resp.cache_hit = true;
@@ -110,48 +128,94 @@ std::optional<CoverResponse> CoverCache::lookup(const CanonicalKey& ck) {
   return resp;
 }
 
+bool CoverCache::should_cache(const CoverResponse& resp) {
+  if (!resp.ok) return false;  // genuine error: transient, retryable
+  // ok && !found && !exhausted means the budget ran out before the search
+  // settled the instance — a bigger budget (or luckier parallel schedule)
+  // could still answer, so only exhausted negatives are proofs.
+  return resp.found || resp.exhausted;
+}
+
 void CoverCache::insert(const CoverRequest& req, const CoverResponse& resp) {
   insert(canonical_request_key(req), resp);
 }
 
 void CoverCache::insert(const CanonicalKey& ck, const CoverResponse& resp) {
-  if (!resp.ok) return;
+  if (!should_cache(resp)) return;
   CoverResponse stored = resp;
   stored.cache_hit = false;
   // Store the cover in the canonical frame so every D_n-equivalent
   // request shares this one entry.
   if (stored.found) stored.cover = apply_element(stored.cover, ck.to_canonical);
-  std::lock_guard lk(mu_);
-  const auto it = index_.find(ck.key);
-  if (it != index_.end()) {
-    it->second->resp = std::move(stored);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  store(ck.key, std::move(stored));
+}
+
+void CoverCache::store(const std::string& key, CoverResponse resp) {
+  Shard& shard = shard_for(key);
+  bool evicted = false;
+  {
+    std::lock_guard lk(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->resp = std::move(resp);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    shard.lru.push_front(Entry{key, std::move(resp)});
+    shard.index[key] = shard.lru.begin();
+    if (shard.lru.size() > shard.capacity) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      evicted = true;
+    }
   }
-  lru_.push_front(Entry{ck.key, std::move(stored)});
-  index_[ck.key] = lru_.begin();
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
-  }
+  if (evicted) evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CoverCache::import_entry(const std::string& key, CoverResponse resp) {
+  resp.cache_hit = false;
+  store(key, std::move(resp));
 }
 
 CoverCache::Stats CoverCache::stats() const {
-  std::lock_guard lk(mu_);
-  return stats_;
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::size_t CoverCache::size() const {
-  std::lock_guard lk(mu_);
-  return lru_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lk(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
 }
 
 void CoverCache::clear() {
-  std::lock_guard lk(mu_);
-  lru_.clear();
-  index_.clear();
-  stats_ = {};
+  for (Shard& shard : shards_) {
+    std::lock_guard lk(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, CoverResponse>> CoverCache::export_entries()
+    const {
+  std::vector<std::pair<std::string, CoverResponse>> out;
+  out.reserve(size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard lk(shard.mu);
+    for (const Entry& e : shard.lru) out.emplace_back(e.key, e.resp);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 }  // namespace ccov::engine

@@ -9,7 +9,16 @@
 namespace ccov::engine {
 
 Engine::Engine(EngineOptions opts, AlgorithmRegistry& registry)
-    : opts_(opts), registry_(registry), cache_(opts.cache_capacity) {}
+    : opts_(opts),
+      registry_(registry),
+      cache_(opts.cache_capacity, opts.cache_shards) {}
+
+util::ThreadPool& Engine::pool() {
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<util::ThreadPool>(opts_.pool_threads);
+  });
+  return *pool_;
+}
 
 CoverResponse Engine::run(const CoverRequest& req) {
   CoverResponse resp;

@@ -1,0 +1,534 @@
+#include "ccov/engine/serve.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "ccov/engine/batch.hpp"
+#include "ccov/engine/store.hpp"
+
+namespace ccov::engine {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader: objects, arrays, strings (with escapes), integer
+// numbers, booleans and null — exactly the subset the serve protocol
+// uses. Errors are reported by message, never by exception.
+// ---------------------------------------------------------------------------
+
+struct JValue {
+  enum class Type { kNull, kBool, kInt, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::int64_t integer = 0;
+  std::string string;
+  std::vector<JValue> array;
+  std::vector<std::pair<std::string, JValue>> object;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text)
+      : p_(text.data()), end_(p_ + text.size()) {}
+
+  bool parse(JValue* out, std::string* error) {
+    skip_ws();
+    if (!value(out, error)) return false;
+    skip_ws();
+    if (p_ != end_) {
+      *error = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+
+  bool literal(const char* word, std::string* error) {
+    for (const char* w = word; *w; ++w, ++p_) {
+      if (p_ == end_ || *p_ != *w) {
+        *error = std::string("expected '") + word + "'";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool value(JValue* out, std::string* error) {
+    if (p_ == end_) {
+      *error = "unexpected end of input";
+      return false;
+    }
+    switch (*p_) {
+      case '{':
+        return object(out, error);
+      case '[':
+        return array(out, error);
+      case '"':
+        out->type = JValue::Type::kString;
+        return string(&out->string, error);
+      case 't':
+        out->type = JValue::Type::kBool;
+        out->boolean = true;
+        return literal("true", error);
+      case 'f':
+        out->type = JValue::Type::kBool;
+        out->boolean = false;
+        return literal("false", error);
+      case 'n':
+        out->type = JValue::Type::kNull;
+        return literal("null", error);
+      default:
+        return number(out, error);
+    }
+  }
+
+  bool object(JValue* out, std::string* error) {
+    out->type = JValue::Type::kObject;
+    ++p_;  // '{'
+    skip_ws();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (p_ == end_ || *p_ != '"' || !string(&key, error)) {
+        if (error->empty()) *error = "expected object key";
+        return false;
+      }
+      skip_ws();
+      if (p_ == end_ || *p_ != ':') {
+        *error = "expected ':' after key '" + key + "'";
+        return false;
+      }
+      ++p_;
+      skip_ws();
+      JValue val;
+      if (!value(&val, error)) return false;
+      out->object.emplace_back(std::move(key), std::move(val));
+      skip_ws();
+      if (p_ != end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (p_ != end_ && *p_ == '}') {
+        ++p_;
+        return true;
+      }
+      *error = "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  bool array(JValue* out, std::string* error) {
+    out->type = JValue::Type::kArray;
+    ++p_;  // '['
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JValue val;
+      if (!value(&val, error)) return false;
+      out->array.push_back(std::move(val));
+      skip_ws();
+      if (p_ != end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (p_ != end_ && *p_ == ']') {
+        ++p_;
+        return true;
+      }
+      *error = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  bool string(std::string* out, std::string* error) {
+    ++p_;  // '"'
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\\') {
+        if (p_ == end_) break;
+        const char esc = *p_++;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          default:
+            *error = "unsupported escape sequence";
+            return false;
+        }
+      }
+      out->push_back(c);
+    }
+    if (p_ == end_) {
+      *error = "unterminated string";
+      return false;
+    }
+    ++p_;  // closing '"'
+    return true;
+  }
+
+  bool number(JValue* out, std::string* error) {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ == start || (*start == '-' && p_ == start + 1)) {
+      *error = "invalid number";
+      return false;
+    }
+    if (p_ != end_ && (*p_ == '.' || *p_ == 'e' || *p_ == 'E')) {
+      *error = "non-integer numbers are not part of the serve protocol";
+      return false;
+    }
+    errno = 0;
+    out->type = JValue::Type::kInt;
+    out->integer = std::strtoll(std::string(start, p_).c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      *error = "integer out of range";
+      return false;
+    }
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+// ---------------------------------------------------------------------------
+// JSON writing
+// ---------------------------------------------------------------------------
+
+void append_escaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void append_bool(std::string* out, const char* key, bool v) {
+  *out += ",\"";
+  *out += key;
+  *out += v ? "\":true" : "\":false";
+}
+
+// ---------------------------------------------------------------------------
+// Request extraction
+// ---------------------------------------------------------------------------
+
+bool to_uint(const JValue& v, std::uint64_t max, std::uint64_t* out,
+             std::string* error, const std::string& key) {
+  if (v.type != JValue::Type::kInt || v.integer < 0 ||
+      static_cast<std::uint64_t>(v.integer) > max) {
+    *error = "field '" + key + "' must be a non-negative integer";
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(v.integer);
+  return true;
+}
+
+bool extract_request(const JValue& obj, CoverRequest* req, std::string* error) {
+  bool have_algo = false, have_n = false;
+  for (const auto& [key, val] : obj.object) {
+    std::uint64_t u = 0;
+    if (key == "algo" || key == "algorithm") {
+      if (val.type != JValue::Type::kString) {
+        *error = "field 'algo' must be a string";
+        return false;
+      }
+      req->algorithm = val.string;
+      have_algo = true;
+    } else if (key == "n") {
+      if (!to_uint(val, std::numeric_limits<std::uint32_t>::max(), &u, error,
+                   key))
+        return false;
+      req->n = static_cast<std::uint32_t>(u);
+      have_n = true;
+    } else if (key == "budget") {
+      if (!to_uint(val, std::numeric_limits<std::uint64_t>::max(), &u, error,
+                   key))
+        return false;
+      req->budget = u;
+    } else if (key == "lambda") {
+      if (!to_uint(val, std::numeric_limits<std::uint32_t>::max(), &u, error,
+                   key))
+        return false;
+      req->lambda = static_cast<std::uint32_t>(u);
+    } else if (key == "threads") {
+      if (!to_uint(val, 4096, &u, error, key)) return false;
+      req->threads = static_cast<std::size_t>(u);
+    } else if (key == "max_nodes") {
+      if (!to_uint(val, std::numeric_limits<std::uint64_t>::max(), &u, error,
+                   key))
+        return false;
+      req->solver.max_nodes = u;
+    } else if (key == "max_cycle_len") {
+      if (!to_uint(val, std::numeric_limits<std::uint32_t>::max(), &u, error,
+                   key))
+        return false;
+      req->solver.max_cycle_len = static_cast<std::uint32_t>(u);
+    } else if (key == "validate") {
+      if (val.type != JValue::Type::kBool) {
+        *error = "field 'validate' must be a boolean";
+        return false;
+      }
+      req->validate = val.boolean;
+    } else if (key == "demand") {
+      if (val.type != JValue::Type::kArray) {
+        *error = "field 'demand' must be an array of [u,v] pairs";
+        return false;
+      }
+      for (const JValue& pair : val.array) {
+        if (pair.type != JValue::Type::kArray || pair.array.size() != 2) {
+          *error = "field 'demand' must be an array of [u,v] pairs";
+          return false;
+        }
+        std::uint64_t u0 = 0, v0 = 0;
+        if (!to_uint(pair.array[0], std::numeric_limits<std::uint32_t>::max(),
+                     &u0, error, key) ||
+            !to_uint(pair.array[1], std::numeric_limits<std::uint32_t>::max(),
+                     &v0, error, key))
+          return false;
+        req->demand.push_back({static_cast<std::uint32_t>(u0),
+                               static_cast<std::uint32_t>(v0)});
+      }
+    } else {
+      *error = "unknown field '" + key + "'";
+      return false;
+    }
+  }
+  if (!have_algo) {
+    *error = "missing required field 'algo'";
+    return false;
+  }
+  if (!have_n) {
+    *error = "missing required field 'n'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_serve_line(const std::string& line, ServeCommand* cmd,
+                      std::string* error) {
+  error->clear();
+  JValue root;
+  JsonReader reader(line);
+  if (!reader.parse(&root, error)) return false;
+  if (root.type != JValue::Type::kObject) {
+    *error = "each line must be a JSON object";
+    return false;
+  }
+  for (const auto& [key, val] : root.object) {
+    if (key != "op") continue;
+    if (val.type != JValue::Type::kString) {
+      *error = "field 'op' must be a string";
+      return false;
+    }
+    if (root.object.size() != 1) {
+      *error = "control verbs take no other fields";
+      return false;
+    }
+    if (val.string == "stats") {
+      cmd->kind = ServeCommand::Kind::kStats;
+    } else if (val.string == "save") {
+      cmd->kind = ServeCommand::Kind::kSave;
+    } else if (val.string == "clear") {
+      cmd->kind = ServeCommand::Kind::kClear;
+    } else {
+      *error = "unknown control verb '" + val.string + "'";
+      return false;
+    }
+    return true;
+  }
+  cmd->kind = ServeCommand::Kind::kRequest;
+  cmd->req = CoverRequest{};
+  return extract_request(root, &cmd->req, error);
+}
+
+std::string serve_response_line(std::uint64_t id, const CoverResponse& resp) {
+  std::string out = "{\"id\":" + std::to_string(id);
+  out += resp.ok ? ",\"ok\":true" : ",\"ok\":false";
+  out += ",\"algo\":";
+  append_escaped(&out, resp.algorithm);
+  out += ",\"n\":" + std::to_string(resp.n);
+  if (!resp.ok) {
+    out += ",\"error\":";
+    append_escaped(&out, resp.error);
+    out += "}";
+    return out;
+  }
+  append_bool(&out, "found", resp.found);
+  append_bool(&out, "exhausted", resp.exhausted);
+  out += ",\"nodes\":" + std::to_string(resp.nodes);
+  append_bool(&out, "cache_hit", resp.cache_hit);
+  if (resp.validated) append_bool(&out, "valid", resp.valid);
+  if (resp.found) {
+    out += ",\"cover\":[";
+    for (std::size_t i = 0; i < resp.cover.cycles.size(); ++i) {
+      if (i) out += ",";
+      out += "[";
+      const covering::Cycle& c = resp.cover.cycles[i];
+      for (std::size_t j = 0; j < c.size(); ++j) {
+        if (j) out += ",";
+        out += std::to_string(c[j]);
+      }
+      out += "]";
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+std::string serve_error_line(std::uint64_t id, const std::string& error) {
+  std::string out =
+      "{\"id\":" + std::to_string(id) + ",\"ok\":false,\"error\":";
+  append_escaped(&out, error);
+  out += "}";
+  return out;
+}
+
+std::string serve_stats_line(std::uint64_t id, const CoverCache& cache) {
+  const CoverCache::Stats s = cache.stats();
+  std::string out = "{\"id\":" + std::to_string(id) +
+                    ",\"op\":\"stats\",\"ok\":true";
+  out += ",\"size\":" + std::to_string(cache.size());
+  out += ",\"capacity\":" + std::to_string(cache.capacity());
+  out += ",\"shards\":" + std::to_string(cache.shard_count());
+  out += ",\"hits\":" + std::to_string(s.hits);
+  out += ",\"misses\":" + std::to_string(s.misses);
+  out += ",\"evictions\":" + std::to_string(s.evictions);
+  out += "}";
+  return out;
+}
+
+int serve_loop(std::istream& in, std::ostream& out, Engine& engine,
+               const ServeOptions& opts) {
+  struct Pending {
+    std::uint64_t id = 0;
+    bool is_request = false;
+    CoverRequest req;
+    std::string error;  ///< preformatted parse failure when !is_request
+  };
+
+  std::vector<Pending> pending;
+  std::size_t pending_requests = 0;
+  const std::size_t batch = std::max<std::size_t>(1, opts.batch);
+  BatchRunner runner(engine, {.jobs = opts.jobs});
+
+  const auto flush = [&] {
+    if (pending.empty()) return;
+    std::vector<CoverRequest> requests;
+    requests.reserve(pending_requests);
+    for (const Pending& p : pending)
+      if (p.is_request) requests.push_back(p.req);
+    const std::vector<CoverResponse> responses = runner.run(requests);
+    std::size_t k = 0;
+    for (const Pending& p : pending) {
+      if (p.is_request) {
+        out << serve_response_line(p.id, responses[k++]) << "\n";
+      } else {
+        out << serve_error_line(p.id, p.error) << "\n";
+      }
+    }
+    out.flush();
+    pending.clear();
+    pending_requests = 0;
+  };
+
+  std::uint64_t id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ServeCommand cmd;
+    std::string error;
+    if (!parse_serve_line(line, &cmd, &error)) {
+      pending.push_back({id++, false, {}, "parse: " + error});
+      if (pending.size() >= batch) flush();
+      continue;
+    }
+    switch (cmd.kind) {
+      case ServeCommand::Kind::kRequest:
+        pending.push_back({id++, true, std::move(cmd.req), {}});
+        ++pending_requests;
+        if (pending_requests >= batch) flush();
+        break;
+      case ServeCommand::Kind::kStats:
+        flush();
+        out << serve_stats_line(id++, engine.cache()) << "\n";
+        out.flush();
+        break;
+      case ServeCommand::Kind::kSave:
+        flush();
+        if (opts.cache_file.empty()) {
+          out << serve_error_line(id++, "save: no --cache-file configured")
+              << "\n";
+        } else {
+          try {
+            save_snapshot_file(opts.cache_file, engine.cache());
+            out << "{\"id\":" << id++ << ",\"op\":\"save\",\"ok\":true"
+                << ",\"entries\":" << engine.cache().size() << ",\"file\":";
+            std::string f;
+            append_escaped(&f, opts.cache_file);
+            out << f << "}\n";
+          } catch (const std::exception& e) {
+            out << serve_error_line(id++, e.what()) << "\n";
+          }
+        }
+        out.flush();
+        break;
+      case ServeCommand::Kind::kClear:
+        flush();
+        engine.cache().clear();
+        out << "{\"id\":" << id++ << ",\"op\":\"clear\",\"ok\":true}\n";
+        out.flush();
+        break;
+    }
+  }
+  flush();
+  return 0;
+}
+
+}  // namespace ccov::engine

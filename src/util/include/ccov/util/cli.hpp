@@ -16,6 +16,10 @@ class Cli {
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& def) const;
+  /// Numeric accessors parse strictly: a present flag whose value is not
+  /// a full valid number throws std::invalid_argument, and one outside
+  /// the representable range throws std::out_of_range — callers report a
+  /// one-line error instead of silently reading 0 from garbage.
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
   double get_double(const std::string& name, double def) const;
 

@@ -1,6 +1,8 @@
 #include "ccov/util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace ccov::util {
 
@@ -36,12 +38,32 @@ std::string Cli::get(const std::string& name, const std::string& def) const {
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == flags_.end()) return def;
+  const std::string& s = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0')
+    throw std::invalid_argument("--" + name + ": invalid integer '" + s + "'");
+  if (errno == ERANGE)
+    throw std::out_of_range("--" + name + ": integer out of range '" + s +
+                            "'");
+  return v;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags_.end()) return def;
+  const std::string& s = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0')
+    throw std::invalid_argument("--" + name + ": invalid number '" + s + "'");
+  if (errno == ERANGE)
+    throw std::out_of_range("--" + name + ": number out of range '" + s +
+                            "'");
+  return v;
 }
 
 }  // namespace ccov::util

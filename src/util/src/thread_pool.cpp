@@ -5,8 +5,24 @@
 
 namespace ccov::util {
 
+void TaskGroup::wait() {
+  std::unique_lock lk(state_->mu);
+  state_->cv.wait(lk, [this] { return state_->pending == 0; });
+  if (state_->first_error) {
+    std::exception_ptr err = std::exchange(state_->first_error, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+std::size_t TaskGroup::pending() const {
+  std::lock_guard lk(state_->mu);
+  return state_->pending;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -22,19 +38,38 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  enqueue(default_group_.state_, std::move(task));
+}
+
+void ThreadPool::submit(TaskGroup& group, std::function<void()> task) {
+  enqueue(group.state_, std::move(task));
+}
+
+void ThreadPool::enqueue(std::shared_ptr<TaskGroup::State> group,
+                         std::function<void()> task) {
+  {
+    std::lock_guard lk(group->mu);
+    ++group->pending;
+  }
   {
     std::lock_guard lk(mu_);
-    queue_.push(std::move(task));
+    queue_.push(Item{std::move(task), std::move(group)});
     ++in_flight_;
   }
   cv_task_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lk(mu_);
-  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = std::exchange(first_error_, nullptr);
+  {
+    std::unique_lock lk(mu_);
+    cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+  }
+  // Rethrow (and clear) only the default group's error: an explicit
+  // TaskGroup's failure belongs to the batch that submitted it.
+  auto& state = *default_group_.state_;
+  std::unique_lock lk(state.mu);
+  if (state.first_error) {
+    std::exception_ptr err = std::exchange(state.first_error, nullptr);
     lk.unlock();
     std::rethrow_exception(err);
   }
@@ -42,25 +77,28 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Item item;
     {
       std::unique_lock lk(mu_);
       cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ must be set
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop();
     }
     std::exception_ptr err;
     try {
-      task();
+      item.fn();
     } catch (...) {
       err = std::current_exception();
     }
     {
+      std::lock_guard lk(item.group->mu);
+      if (err && !item.group->first_error) item.group->first_error = err;
+      if (--item.group->pending == 0) item.group->cv.notify_all();
+    }
+    {
       std::lock_guard lk(mu_);
-      if (err && !first_error_) first_error_ = err;
-      --in_flight_;
-      if (in_flight_ == 0) cv_idle_.notify_all();
+      if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }
 }
@@ -71,13 +109,14 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t span = end - begin;
   const std::size_t chunks = std::min(span, pool.size() * 4);
   const std::size_t step = (span + chunks - 1) / chunks;
+  TaskGroup group;
   for (std::size_t lo = begin; lo < end; lo += step) {
     const std::size_t hi = std::min(end, lo + step);
-    pool.submit([lo, hi, &fn] {
+    pool.submit(group, [lo, hi, &fn] {
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     });
   }
-  pool.wait_idle();
+  group.wait();
 }
 
 }  // namespace ccov::util

@@ -13,7 +13,7 @@ fail() { echo "cli_smoke: FAIL: $*" >&2; exit 1; }
 echo "== ccov usage/help behaviour"
 "${CCOV}" | grep -q "usage:" || fail "no-arg invocation should print usage and exit 0"
 "${CCOV}" help >/dev/null || fail "'ccov help' should exit 0"
-for sub in cover validate bounds solve protect run sweep algos; do
+for sub in cover validate bounds solve protect run sweep serve cache algos; do
   "${CCOV}" help | grep -q "${sub}" || fail "usage should list '${sub}'"
 done
 if "${CCOV}" frobnicate >/dev/null 2>&1; then fail "unknown command should exit nonzero"; fi
@@ -106,5 +106,84 @@ cmp -s "${SWEEP1}" "${SWEEP4}" || fail "sweep output should be identical across 
 echo "== ccov sweep --format json"
 "${CCOV}" sweep --n-from 5 --n-to 7 --algo greedy --format json \
   | grep -q '"algo": "greedy"' || fail "sweep JSON output malformed"
+
+echo "== bad numeric flags fail with a one-line stderr error"
+for args in "sweep --n-from abc" "sweep --n-from 3 --n-to 9 --jobs 1.5" \
+            "run --algo solve --n 7 --budget 99999999999999999999999" \
+            "serve --batch nope"; do
+  ERR="${TMPDIR_SMOKE}/badnum.err"
+  # shellcheck disable=SC2086
+  if "${CCOV}" ${args} >/dev/null 2>"${ERR}"; then
+    fail "'ccov ${args}' should exit nonzero"
+  fi
+  [ "$(wc -l < "${ERR}")" -eq 1 ] || fail "'ccov ${args}' should print exactly one stderr line"
+  grep -Eq "invalid (integer|number)|out of range" "${ERR}" \
+    || fail "'ccov ${args}' error should name the bad value: $(cat "${ERR}")"
+done
+
+echo "== ccov serve (JSONL round trip, byte-identical across --jobs)"
+REQS="${TMPDIR_SMOKE}/requests.jsonl"
+cat > "${REQS}" <<'EOF'
+{"algo":"construct","n":9}
+{"algo":"solve","n":7}
+{"algo":"greedy","n":9,"demand":[[0,3],[1,4],[2,7]]}
+{"algo":"greedy","n":9,"demand":[[2,5],[3,6],[0,4]]}
+{"algo":"construct","n":9}
+{"op":"stats"}
+EOF
+SERVE1="${TMPDIR_SMOKE}/serve1.jsonl"
+SERVE4="${TMPDIR_SMOKE}/serve4.jsonl"
+"${CCOV}" serve --jobs 1 < "${REQS}" > "${SERVE1}" 2>/dev/null \
+  || fail "serve --jobs 1 failed"
+"${CCOV}" serve --jobs 4 --batch 8 < "${REQS}" > "${SERVE4}" 2>/dev/null \
+  || fail "serve --jobs 4 failed"
+[ "$(wc -l < "${SERVE1}")" -eq 6 ] || fail "serve should answer every input line"
+cmp -s "${SERVE1}" "${SERVE4}" || fail "serve output should be identical across --jobs"
+head -n 1 "${SERVE1}" | grep -q '"id":0,"ok":true' || fail "serve responses should be index-aligned"
+grep -q '"op":"stats","ok":true' "${SERVE1}" || fail "stats verb should answer in-band"
+grep -q '"nodes":0,"cache_hit":true' "${SERVE1}" \
+  || fail "duplicate requests inside one serve run should hit the cache"
+
+echo "== ccov serve rejects garbage lines in-band"
+echo 'this is not json' | "${CCOV}" serve 2>/dev/null \
+  | grep -q '"ok":false,"error":"parse:' || fail "parse errors should answer in-band"
+
+echo "== ccov serve --cache-file warm start (cache_hit=true, nodes=0)"
+SNAP="${TMPDIR_SMOKE}/store.bin"
+echo '{"algo":"solve","n":8}' | "${CCOV}" serve --cache-file "${SNAP}" >/dev/null 2>&1 \
+  || fail "serve --cache-file (cold) failed"
+[ -s "${SNAP}" ] || fail "serve should save the store on exit"
+WARM=$(echo '{"algo":"solve","n":8}' | "${CCOV}" serve --cache-file "${SNAP}" 2>/dev/null)
+echo "${WARM}" | grep -q '"nodes":0,"cache_hit":true' \
+  || fail "warm-started serve should answer from the snapshot: ${WARM}"
+
+echo "== ccov cache stats / load / save / clear"
+"${CCOV}" cache stats --cache-file "${SNAP}" | grep -q "entries: 1" \
+  || fail "cache stats should count the stored entry"
+"${CCOV}" cache load --cache-file "${SNAP}" | grep -q "snapshot ok" \
+  || fail "cache load should verify the snapshot"
+"${CCOV}" cache save --cache-file "${SNAP}" --algo construct --n-from 3 --n-to 12 >/dev/null \
+  || fail "cache save (offline warming) failed"
+"${CCOV}" cache stats --cache-file "${SNAP}" | grep -q "entries: 11" \
+  || fail "cache save should merge the sweep into the snapshot"
+"${CCOV}" cache clear --cache-file "${SNAP}" >/dev/null || fail "cache clear failed"
+"${CCOV}" cache stats --cache-file "${SNAP}" | grep -q "entries: 0" \
+  || fail "cleared snapshot should be empty"
+echo "garbage" > "${SNAP}"
+if "${CCOV}" cache load --cache-file "${SNAP}" >/dev/null 2>&1; then
+  fail "cache load should reject a corrupt snapshot"
+fi
+
+echo "== ccov sweep --cache-file warm start"
+SWEEPSNAP="${TMPDIR_SMOKE}/sweep_store.bin"
+WARM1="${TMPDIR_SMOKE}/sweep_warm1.csv"
+WARM2="${TMPDIR_SMOKE}/sweep_warm2.csv"
+"${CCOV}" sweep --n-from 3 --n-to 9 --algo solve --cache-file "${SWEEPSNAP}" --out "${WARM1}" \
+  || fail "sweep --cache-file (cold) failed"
+"${CCOV}" sweep --n-from 3 --n-to 9 --algo solve --cache-file "${SWEEPSNAP}" --out "${WARM2}" \
+  || fail "sweep --cache-file (warm) failed"
+# The warm sweep answers every n from the snapshot: zero nodes searched.
+tail -n +2 "${WARM2}" | awk -F, '{ if ($9 != 0) exit 1 }' \
+  || fail "warm sweep should report nodes=0 for every row"
 
 echo "cli_smoke: PASS"

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ccov/baselines/c4_cover.hpp"
@@ -16,7 +19,10 @@
 #include "ccov/engine/engine.hpp"
 #include "ccov/engine/registry.hpp"
 #include "ccov/engine/request.hpp"
+#include "ccov/engine/serve.hpp"
+#include "ccov/engine/store.hpp"
 #include "ccov/extensions/lambda_cover.hpp"
+#include "ccov/util/prng.hpp"
 
 namespace eng = ccov::engine;
 namespace cov = ccov::covering;
@@ -180,7 +186,9 @@ TEST(CoverCache, CountsHitsAndMisses) {
 }
 
 TEST(CoverCache, EvictsLeastRecentlyUsedAtCapacity) {
-  eng::CoverCache cache(2);
+  // One shard: strict global LRU semantics (sharded caches only promise
+  // per-shard LRU).
+  eng::CoverCache cache(2, 1);
   auto mk_resp = [](std::uint32_t n) {
     eng::CoverResponse resp;
     resp.ok = true;
@@ -265,6 +273,159 @@ TEST(CoverCache, DihedrallyEquivalentDemandsShareOneEntry) {
   EXPECT_EQ(engine.cache().stats().hits, 2u);
 }
 
+TEST(CoverCache, ShouldCachePolicy) {
+  eng::CoverResponse resp;
+  resp.ok = false;
+  EXPECT_FALSE(eng::CoverCache::should_cache(resp));  // genuine error
+  resp.ok = true;
+  resp.found = true;
+  EXPECT_TRUE(eng::CoverCache::should_cache(resp));  // positive result
+  resp.found = false;
+  resp.exhausted = true;
+  EXPECT_TRUE(eng::CoverCache::should_cache(resp));  // infeasibility proof
+  resp.exhausted = false;
+  EXPECT_FALSE(eng::CoverCache::should_cache(resp));  // budget-starved
+}
+
+TEST(CoverCache, ExhaustedInfeasibilityProofsAreCached) {
+  // One cycle below the optimum is infeasible; the exhausted search is a
+  // deterministic proof and must be served from the cache on repeat.
+  eng::Engine engine;
+  auto req = make_req("solve", 7);
+  req.budget = cov::rho(7) - 1;
+  const auto cold = engine.run(req);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.found);
+  EXPECT_TRUE(cold.exhausted);
+  EXPECT_GT(cold.nodes, 0u);
+  EXPECT_EQ(engine.cache().size(), 1u);
+
+  const auto warm = engine.run(req);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_FALSE(warm.found);
+  EXPECT_TRUE(warm.exhausted);
+  EXPECT_EQ(warm.nodes, 0u);  // the proof was not re-searched
+}
+
+TEST(CoverCache, BudgetStarvedNegativesAreNotCached) {
+  // A search cut off by the node budget (found = false, exhausted =
+  // false) answers nothing and must be retried, not remembered.
+  eng::Engine engine;
+  auto req = make_req("solve", 9);
+  req.budget = cov::rho(9);  // feasible, but far deeper than 3 nodes
+  req.solver.max_nodes = 3;  // starve the search immediately
+  const auto first = engine.run(req);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.found);
+  EXPECT_FALSE(first.exhausted);
+  EXPECT_EQ(engine.cache().size(), 0u);
+
+  const auto second = engine.run(req);
+  EXPECT_FALSE(second.cache_hit);  // re-searched, not served from cache
+  EXPECT_GT(second.nodes, 0u);
+}
+
+TEST(CoverCache, ShardedHitsBackMapAcrossRandomDihedralElements) {
+  // Property test for D_n correctness under sharding: random demand
+  // graphs, random group elements — a hit through whichever shard the
+  // canonical key lands in must return a cover in the *request's* frame
+  // that covers the transformed demand.
+  const std::uint32_t n = 11;
+  ccov::util::Xoshiro256 rng(0xC0FFEEu);
+  eng::Engine engine({.use_cache = true, .cache_capacity = 64,
+                      .cache_shards = 8});
+  ASSERT_EQ(engine.cache().shard_count(), 8u);
+
+  int hits_checked = 0;
+  for (int iter = 0; iter < 25; ++iter) {
+    // Distinct normalized chords only: greedy covers each demand chord
+    // once, so a duplicate (multiplicity-2) demand would fail validation
+    // for reasons unrelated to the cache.
+    std::vector<ccov::graph::Edge> base;
+    const std::size_t chords = 3 + rng.below(4);
+    while (base.size() < chords) {
+      auto u = static_cast<std::uint32_t>(rng.below(n));
+      auto v = static_cast<std::uint32_t>(rng.below(n));
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      const bool dup = std::any_of(
+          base.begin(), base.end(),
+          [&](const ccov::graph::Edge& e) { return e.u == u && e.v == v; });
+      if (!dup) base.push_back({u, v});
+    }
+    auto req = make_req("greedy", n);
+    req.demand = base;
+    const auto cold = engine.run(req);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    ASSERT_TRUE(cold.found);
+
+    const bool reflect = rng.below(2) != 0;
+    const auto shift = static_cast<std::uint32_t>(rng.below(n));
+    auto rotated = make_req("greedy", n);
+    for (const auto& e : base) {
+      auto map = [&](std::uint32_t v) {
+        const std::uint32_t r = reflect ? (n - v) % n : v;
+        return (r + shift) % n;
+      };
+      rotated.demand.push_back({map(e.u), map(e.v)});
+    }
+    const auto hit = engine.run(rotated);
+    ASSERT_TRUE(hit.ok) << hit.error;
+    ASSERT_TRUE(hit.cache_hit) << "D_n-equivalent request missed the cache";
+    EXPECT_EQ(hit.nodes, 0u);
+    EXPECT_TRUE(cov::validate_cover_against(
+                    hit.cover, eng::demand_graph(n, rotated.demand))
+                    .ok)
+        << "hit cover does not back-map to the request frame";
+    ++hits_checked;
+  }
+  EXPECT_EQ(hits_checked, 25);
+  EXPECT_GE(engine.cache().stats().hits, 25u);
+}
+
+TEST(CoverCache, ConcurrentLookupsKeepAggregateStatsConsistent) {
+  // Hammer all shards from several threads; the atomic aggregate
+  // counters must account for every operation exactly once. Per-shard
+  // capacity (128 / 8 = 16) covers all 16 keys even if the (platform-
+  // dependent) hash piles every key onto one shard, so no insert can
+  // evict and the arithmetic below is exact everywhere.
+  eng::CoverCache cache(128, 8);
+  std::vector<eng::CoverRequest> reqs;
+  for (std::uint32_t n = 3; n <= 18; ++n) {
+    eng::CoverRequest req = make_req("construct", n);
+    eng::CoverResponse resp;
+    resp.ok = true;
+    resp.found = true;
+    resp.n = n;
+    resp.algorithm = "construct";
+    resp.cover = cov::build_optimal_cover(n);
+    cache.insert(req, resp);
+    reqs.push_back(req);
+  }
+  ASSERT_EQ(cache.size(), 16u);
+  const auto baseline = cache.stats();
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (const auto& req : reqs) EXPECT_TRUE(cache.lookup(req));
+        EXPECT_FALSE(cache.lookup(make_req("construct", 99)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits - baseline.hits, kThreads * kRounds * reqs.size());
+  EXPECT_EQ(stats.misses - baseline.misses,
+            static_cast<std::uint64_t>(kThreads * kRounds));
+}
+
 TEST(CoverCache, ApplyElementRoundTrips) {
   const auto cover = cov::build_optimal_cover(9);
   for (const bool reflect : {false, true}) {
@@ -287,8 +448,9 @@ TEST(CoverCache, ApplyElementRoundTrips) {
 
 TEST(BatchRunner, SweepIsByteIdenticalAcrossJobCounts) {
   // The acceptance sweep: construct for every n in 3..15 plus the exact
-  // solver for the small sizes, once with 1 worker, once with 4. The
-  // deterministic rows must match byte for byte.
+  // solver for the small sizes, with 1 worker, 4 workers and hardware
+  // concurrency (jobs = 0). The deterministic rows must match byte for
+  // byte.
   std::vector<eng::CoverRequest> requests;
   for (std::uint32_t n = 3; n <= 15; ++n)
     requests.push_back(make_req("construct", n));
@@ -306,8 +468,60 @@ TEST(BatchRunner, SweepIsByteIdenticalAcrossJobCounts) {
   eng::BatchRunner parallel(engine4, {.jobs = 4});
   const std::string rows4 = rows_of(parallel.run(requests));
 
+  eng::Engine engine_hw;
+  eng::BatchRunner hw(engine_hw, {.jobs = 0});
+  const std::string rows_hw = rows_of(hw.run(requests));
+
   EXPECT_EQ(rows1, rows4);
+  EXPECT_EQ(rows1, rows_hw);
   EXPECT_FALSE(rows1.empty());
+}
+
+TEST(BatchRunner, ReusesTheEngineSharedPoolAcrossRuns) {
+  // run() must not construct a pool per call: the engine's shared pool
+  // is created once and every batch fans out over it.
+  eng::Engine engine;
+  ccov::util::ThreadPool* pool = &engine.pool();
+  EXPECT_EQ(pool, &engine.pool());
+
+  std::vector<eng::CoverRequest> requests;
+  for (std::uint32_t n = 3; n <= 12; ++n)
+    requests.push_back(make_req("construct", n));
+  eng::BatchRunner runner(engine, {.jobs = 4});
+  for (int round = 0; round < 3; ++round) {
+    const auto responses = runner.run(requests);
+    ASSERT_EQ(responses.size(), requests.size());
+    for (const auto& resp : responses) EXPECT_TRUE(resp.ok) << resp.error;
+  }
+  EXPECT_EQ(pool, &engine.pool());
+}
+
+TEST(BatchRunner, ConcurrentBatchesOnOneEngineStayIsolated) {
+  // Two batches racing on one engine (one shared pool): each caller's
+  // results must be index-aligned with its own requests — the TaskGroup
+  // tokens keep the batches from waiting on (or failing for) each other.
+  eng::Engine engine;
+  auto worker = [&engine](const std::string& algo, std::uint32_t lo,
+                          std::uint32_t hi) {
+    std::vector<eng::CoverRequest> requests;
+    for (std::uint32_t n = lo; n <= hi; ++n) {
+      eng::CoverRequest req;
+      req.algorithm = algo;
+      req.n = n;
+      requests.push_back(req);
+    }
+    eng::BatchRunner runner(engine, {.jobs = 4});
+    const auto responses = runner.run(requests);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(responses[i].n, requests[i].n);
+      EXPECT_EQ(responses[i].algorithm, algo);
+      EXPECT_TRUE(responses[i].ok) << responses[i].error;
+    }
+  };
+  std::thread a(worker, "construct", 3u, 24u);
+  std::thread b(worker, "greedy", 3u, 24u);
+  a.join();
+  b.join();
 }
 
 TEST(BatchRunner, DuplicateRequestsStayByteIdenticalAcrossJobCounts) {
@@ -418,4 +632,303 @@ TEST(MigratedTables, BaselineRowsMatchDirectCalls) {
             ccov::baselines::emz_greedy_cover(11).size());
   EXPECT_EQ(ccov::baselines::emz_objective(responses[0].cover),
             ccov::baselines::emz_objective(cov::build_optimal_cover(11)));
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot persistence (store.hpp)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A mixed workload: constructions, a positive exact search, a cached
+/// infeasibility proof and a demand-graph greedy cover.
+std::vector<eng::CoverRequest> snapshot_workload() {
+  std::vector<eng::CoverRequest> requests;
+  for (std::uint32_t n = 5; n <= 12; ++n)
+    requests.push_back(make_req("construct", n));
+  auto solve = make_req("solve", 8);
+  solve.budget = cov::rho(8);
+  requests.push_back(solve);
+  auto infeasible = make_req("solve", 7);
+  infeasible.budget = cov::rho(7) - 1;
+  requests.push_back(infeasible);
+  auto greedy = make_req("greedy", 9);
+  greedy.demand = {{0, 3}, {1, 4}, {2, 7}};
+  requests.push_back(greedy);
+  return requests;
+}
+
+}  // namespace
+
+TEST(Snapshot, SaveLoadSaveIsByteStable) {
+  eng::Engine engine;
+  for (const auto& req : snapshot_workload())
+    ASSERT_TRUE(engine.run(req).ok);
+  ASSERT_GT(engine.cache().size(), 0u);
+
+  std::ostringstream first;
+  eng::save_snapshot(first, engine.cache());
+
+  eng::CoverCache loaded(256);
+  std::istringstream in(first.str());
+  EXPECT_EQ(eng::load_snapshot(in, loaded), engine.cache().size());
+  EXPECT_EQ(loaded.size(), engine.cache().size());
+
+  std::ostringstream second;
+  eng::save_snapshot(second, loaded);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Snapshot, WarmStartedEngineServesByteIdenticalResponses) {
+  const auto requests = snapshot_workload();
+  eng::Engine cold;
+  for (const auto& req : requests) ASSERT_TRUE(cold.run(req).ok);
+  // Warm rows from the engine that did the work: every repeat is a hit.
+  std::vector<eng::CoverResponse> warm_direct;
+  for (const auto& req : requests) warm_direct.push_back(cold.run(req));
+
+  std::ostringstream snap;
+  eng::save_snapshot(snap, cold.cache());
+  eng::Engine restored;
+  std::istringstream in(snap.str());
+  eng::load_snapshot(in, restored.cache());
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto resp = restored.run(requests[i]);
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_TRUE(resp.cache_hit) << i;
+    EXPECT_EQ(resp.nodes, 0u) << i;
+    EXPECT_EQ(eng::deterministic_row(resp),
+              eng::deterministic_row(warm_direct[i]))
+        << i;
+  }
+}
+
+TEST(Snapshot, RejectsCorruptStreams) {
+  eng::Engine engine;
+  ASSERT_TRUE(engine.run(make_req("construct", 9)).ok);
+  ASSERT_TRUE(engine.run(make_req("construct", 11)).ok);
+  std::ostringstream snap;
+  eng::save_snapshot(snap, engine.cache());
+  const std::string bytes = snap.str();
+
+  eng::CoverCache cache(16);
+  {
+    std::istringstream bad("definitely not a snapshot");
+    EXPECT_THROW(eng::load_snapshot(bad, cache), std::runtime_error);
+  }
+  {
+    // Truncated inside the second of two entries: the first, fully
+    // decodable entry must NOT leak into the destination cache.
+    std::istringstream truncated(bytes.substr(0, bytes.size() - 7));
+    EXPECT_THROW(eng::load_snapshot(truncated, cache), std::runtime_error);
+  }
+  {
+    std::string future = bytes;
+    future[8] = static_cast<char>(0xfe);  // version field
+    std::istringstream unknown(future);
+    EXPECT_THROW(eng::load_snapshot(unknown, cache), std::runtime_error);
+  }
+  {
+    // An absurd cycle count must be rejected before any allocation
+    // sized by it (clean runtime_error, not bad_alloc): overwrite the
+    // cover's cycle-count field of the first entry with 0xFFFFFFFF.
+    // Layout after the 20-byte header: key(string), flags u8,
+    // algorithm(string), error(string), n u32, nodes u64, cover.n u32,
+    // cycles u32.
+    std::string huge = bytes;
+    std::size_t off = 8 + 4 + 8;                     // magic+version+count
+    auto u32_at = [&](std::size_t pos) {
+      return static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(huge[pos])) |
+             static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(huge[pos + 1]))
+                 << 8 |
+             static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(huge[pos + 2]))
+                 << 16 |
+             static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(huge[pos + 3]))
+                 << 24;
+    };
+    off += 4 + u32_at(off);  // key
+    off += 1;                // flags
+    off += 4 + u32_at(off);  // algorithm
+    off += 4 + u32_at(off);  // error
+    off += 4 + 8 + 4;        // n, nodes, cover.n
+    huge[off] = huge[off + 1] = huge[off + 2] = huge[off + 3] =
+        static_cast<char>(0xff);
+    std::istringstream absurd(huge);
+    EXPECT_THROW(eng::load_snapshot(absurd, cache), std::runtime_error);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Serve protocol (serve.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(Serve, ParsesComputeRequestsAndControlVerbs) {
+  eng::ServeCommand cmd;
+  std::string error;
+  ASSERT_TRUE(eng::parse_serve_line(
+      R"({"algo":"solve","n":8,"budget":10,"lambda":2,"validate":false,)"
+      R"("max_nodes":1000,"demand":[[0,3],[1,4]]})",
+      &cmd, &error))
+      << error;
+  EXPECT_EQ(cmd.kind, eng::ServeCommand::Kind::kRequest);
+  EXPECT_EQ(cmd.req.algorithm, "solve");
+  EXPECT_EQ(cmd.req.n, 8u);
+  EXPECT_EQ(cmd.req.budget, 10u);
+  EXPECT_EQ(cmd.req.lambda, 2u);
+  EXPECT_FALSE(cmd.req.validate);
+  EXPECT_EQ(cmd.req.solver.max_nodes, 1000u);
+  ASSERT_EQ(cmd.req.demand.size(), 2u);
+  EXPECT_EQ(cmd.req.demand[1].u, 1u);
+  EXPECT_EQ(cmd.req.demand[1].v, 4u);
+
+  ASSERT_TRUE(eng::parse_serve_line(R"({"op":"stats"})", &cmd, &error))
+      << error;
+  EXPECT_EQ(cmd.kind, eng::ServeCommand::Kind::kStats);
+  ASSERT_TRUE(eng::parse_serve_line(R"({"op":"save"})", &cmd, &error));
+  EXPECT_EQ(cmd.kind, eng::ServeCommand::Kind::kSave);
+  ASSERT_TRUE(eng::parse_serve_line(R"({"op":"clear"})", &cmd, &error));
+  EXPECT_EQ(cmd.kind, eng::ServeCommand::Kind::kClear);
+}
+
+TEST(Serve, RejectsMalformedLines) {
+  eng::ServeCommand cmd;
+  std::string error;
+  EXPECT_FALSE(eng::parse_serve_line("", &cmd, &error));
+  EXPECT_FALSE(eng::parse_serve_line("not json", &cmd, &error));
+  EXPECT_FALSE(eng::parse_serve_line(R"({"algo":"solve"})", &cmd, &error));
+  EXPECT_NE(error.find("missing required field 'n'"), std::string::npos);
+  EXPECT_FALSE(eng::parse_serve_line(R"({"n":9})", &cmd, &error));
+  EXPECT_FALSE(
+      eng::parse_serve_line(R"({"algo":"solve","n":-3})", &cmd, &error));
+  EXPECT_FALSE(eng::parse_serve_line(R"({"algo":"solve","n":9,"bogus":1})",
+                                     &cmd, &error));
+  EXPECT_NE(error.find("unknown field"), std::string::npos);
+  EXPECT_FALSE(eng::parse_serve_line(R"({"op":"frobnicate"})", &cmd, &error));
+  EXPECT_FALSE(eng::parse_serve_line(R"([1,2,3])", &cmd, &error));
+  EXPECT_FALSE(
+      eng::parse_serve_line(R"({"algo":"solve","n":9} trailing)", &cmd,
+                            &error));
+}
+
+namespace {
+
+std::string run_serve(const std::string& input, std::size_t jobs,
+                      std::size_t batch) {
+  eng::Engine engine;
+  eng::ServeOptions opts;
+  opts.jobs = jobs;
+  opts.batch = batch;
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(eng::serve_loop(in, out, engine, opts), 0);
+  return out.str();
+}
+
+}  // namespace
+
+TEST(Serve, LoopIsIndexAlignedAndByteIdenticalAcrossJobs) {
+  const std::string input =
+      R"({"algo":"construct","n":9})"
+      "\n"
+      R"({"algo":"solve","n":7})"
+      "\n"
+      R"({"algo":"greedy","n":9,"demand":[[0,3],[1,4],[2,7]]})"
+      "\n"
+      R"({"algo":"greedy","n":9,"demand":[[2,5],[3,6],[0,4]]})"
+      "\n"  // the same demand rotated by 2: must hit the cache
+      R"({"algo":"construct","n":9})"
+      "\n"  // duplicate: must hit the cache
+      "this line is not json\n"
+      R"({"op":"stats"})"
+      "\n"
+      R"({"algo":"no-such-algo","n":9})"
+      "\n";
+
+  const std::string serial = run_serve(input, 1, 1);
+  const std::string batched = run_serve(input, 4, 8);
+  const std::string hw = run_serve(input, 0, 4);
+  EXPECT_EQ(serial, batched);
+  EXPECT_EQ(serial, hw);
+
+  // One response line per input line, ids in input order.
+  std::istringstream lines(serial);
+  std::string line;
+  std::uint64_t expect_id = 0;
+  while (std::getline(lines, line)) {
+    const std::string prefix = "{\"id\":" + std::to_string(expect_id) + ",";
+    EXPECT_EQ(line.rfind(prefix, 0), 0u) << line;
+    ++expect_id;
+  }
+  EXPECT_EQ(expect_id, 8u);
+
+  // The D_n-equivalent greedy repeat and the duplicate construct were
+  // served from the cache without any search.
+  EXPECT_NE(serial.find("\"id\":3,\"ok\":true,\"algo\":\"greedy\""),
+            std::string::npos);
+  EXPECT_NE(serial.find("\"nodes\":0,\"cache_hit\":true"), std::string::npos);
+  // The malformed line answered in-band, the unknown algorithm too.
+  EXPECT_NE(serial.find("\"id\":5,\"ok\":false,\"error\":\"parse:"),
+            std::string::npos);
+  EXPECT_NE(serial.find("\"id\":6,\"op\":\"stats\",\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(serial.find("\"id\":7,\"ok\":false"), std::string::npos);
+}
+
+TEST(Serve, SaveVerbPersistsAndWarmStartsTheNextLoop) {
+  const std::string path =
+      testing::TempDir() + "/ccov_serve_snapshot_test.bin";
+  std::filesystem::remove(path);
+
+  eng::Engine first;
+  eng::ServeOptions opts;
+  opts.jobs = 1;
+  opts.batch = 1;
+  opts.cache_file = path;
+  {
+    std::istringstream in(
+        "{\"algo\":\"solve\",\"n\":8}\n{\"op\":\"save\"}\n");
+    std::ostringstream out;
+    ASSERT_EQ(eng::serve_loop(in, out, first, opts), 0);
+    EXPECT_NE(out.str().find("\"op\":\"save\",\"ok\":true"),
+              std::string::npos);
+  }
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  eng::Engine second;
+  ASSERT_GT(eng::load_snapshot_file(path, second.cache()), 0u);
+  {
+    std::istringstream in("{\"algo\":\"solve\",\"n\":8}\n");
+    std::ostringstream out;
+    ASSERT_EQ(eng::serve_loop(in, out, second, opts), 0);
+    EXPECT_NE(out.str().find("\"nodes\":0,\"cache_hit\":true"),
+              std::string::npos)
+        << out.str();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serve, SaveVerbWithoutCacheFileIsAnInBandError) {
+  const std::string out = run_serve("{\"op\":\"save\"}\n", 1, 1);
+  EXPECT_NE(out.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(out.find("no --cache-file"), std::string::npos);
+}
+
+TEST(Serve, ClearVerbEmptiesTheStore) {
+  eng::Engine engine;
+  eng::ServeOptions opts;
+  std::istringstream in(
+      "{\"algo\":\"construct\",\"n\":9}\n{\"op\":\"clear\"}\n{\"op\":"
+      "\"stats\"}\n");
+  std::ostringstream out;
+  ASSERT_EQ(eng::serve_loop(in, out, engine, opts), 0);
+  EXPECT_NE(out.str().find("\"op\":\"clear\",\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("\"size\":0,"), std::string::npos);
+  EXPECT_EQ(engine.cache().size(), 0u);
 }

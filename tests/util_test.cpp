@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "ccov/util/cli.hpp"
@@ -228,6 +230,83 @@ TEST(ThreadPool, ParallelForPropagatesTaskException) {
   std::vector<std::atomic<int>> hits(20);
   cu::parallel_for(pool, 0, 20, [&](std::size_t i) { hits[i]++; });
   for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(TaskGroup, WaitReturnsWhileOtherGroupsStillRun) {
+  // A group's wait() must block on its own tasks only, not on every
+  // in-flight task in the pool.
+  cu::ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  cu::TaskGroup slow, fast;
+  pool.submit(slow, [gate] { gate.wait(); });
+  std::atomic<int> fast_done{0};
+  pool.submit(fast, [&] { fast_done++; });
+  fast.wait();  // must not wait for the blocked `slow` task
+  EXPECT_EQ(fast_done.load(), 1);
+  EXPECT_EQ(slow.pending(), 1u);
+  release.set_value();
+  slow.wait();
+  EXPECT_EQ(slow.pending(), 0u);
+}
+
+TEST(TaskGroup, ExceptionsRouteToTheSubmittingBatch) {
+  // Two batches on one pool: the failing batch rethrows its own error;
+  // the succeeding batch (and the default group) never see it.
+  cu::ThreadPool pool(2);
+  cu::TaskGroup failing, succeeding;
+  for (int i = 0; i < 8; ++i) {
+    pool.submit(failing, [] { throw std::runtime_error("boom"); });
+    pool.submit(succeeding, [] {});
+  }
+  succeeding.wait();  // must not throw another batch's exception
+  EXPECT_THROW(failing.wait(), std::runtime_error);
+  failing.wait();    // cleared on rethrow
+  pool.wait_idle();  // default group untouched: no rethrow
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallersAreIsolated) {
+  // Regression: two OS threads share one pool; one's parallel_for body
+  // always throws, the other's never does. Every failing call must
+  // observe its own exception and the succeeding caller must never see
+  // one (previously wait_idle could rethrow another caller's error and
+  // waited for all in-flight tasks).
+  cu::ThreadPool pool(4);
+  constexpr int kRounds = 25;
+  constexpr std::size_t kSpan = 64;
+
+  std::atomic<std::size_t> good_hits{0};
+  std::atomic<int> good_saw_exception{0};
+  std::atomic<int> bad_exceptions{0};
+
+  std::thread bad([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      try {
+        cu::parallel_for(pool, 0, kSpan, [](std::size_t i) {
+          if (i % 7 == 3) throw std::invalid_argument("bad batch");
+        });
+      } catch (const std::invalid_argument&) {
+        bad_exceptions++;
+      }
+    }
+  });
+  std::thread good([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      try {
+        cu::parallel_for(pool, 0, kSpan,
+                         [&](std::size_t) { good_hits++; });
+      } catch (...) {
+        good_saw_exception++;
+      }
+    }
+  });
+  bad.join();
+  good.join();
+
+  EXPECT_EQ(bad_exceptions.load(), kRounds);
+  EXPECT_EQ(good_saw_exception.load(), 0);
+  EXPECT_EQ(good_hits.load(), kRounds * kSpan);
+  pool.wait_idle();  // the pool itself is still healthy
 }
 
 TEST(Timer, MeasuresNonNegative) {

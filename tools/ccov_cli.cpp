@@ -9,14 +9,21 @@
 //   ccov run      --algo solve --n 9          any registered algorithm
 //   ccov sweep    --n-from 3 --n-to 15 --algo construct --jobs 4
 //                                             batch sweep, CSV/JSON out
+//   ccov serve    [--jobs K] [--batch B] [--cache-file F]
+//                                             JSONL serve loop on stdio
+//   ccov cache    stats|save|load|clear --cache-file F
+//                                             snapshot maintenance
 //   ccov algos                                list registered algorithms
 //   ccov --version                            print the version
 //
 // Exit code 0 on success / valid, 1 otherwise. Unknown subcommands print
 // the usage on stderr and exit nonzero.
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <ostream>
 
 #include "ccov/covering/bounds.hpp"
@@ -25,6 +32,8 @@
 #include "ccov/covering/solver.hpp"
 #include "ccov/engine/batch.hpp"
 #include "ccov/engine/engine.hpp"
+#include "ccov/engine/serve.hpp"
+#include "ccov/engine/store.hpp"
 #include "ccov/protection/simulator.hpp"
 #include "ccov/util/cli.hpp"
 #include "ccov/util/table.hpp"
@@ -54,13 +63,38 @@ void print_usage(std::ostream& os) {
         "  sweep     --n-from A --n-to B [--step S] --algo NAME [--jobs "
         "K]\n"
         "            [--budget B] [--lambda L] [--no-validate] [--timing]\n"
-        "            [--format csv|json|table] [--out F]\n"
+        "            [--format csv|json|table] [--out F] [--cache-file F]\n"
         "                                           batch sweep via the "
         "engine\n"
+        "  serve     [--jobs K] [--batch B] [--cache-file F]\n"
+        "            [--cache-capacity C] [--cache-shards S]\n"
+        "                                           JSONL requests on stdin "
+        "-> responses on stdout\n"
+        "  cache     stats|save|load|clear --cache-file F [sweep flags]\n"
+        "                                           inspect / warm / verify "
+        "/ reset a snapshot\n"
         "  algos                                    list registered "
         "algorithms\n"
         "  help                                     show this message\n"
         "  --version                                print the version\n";
+}
+
+/// Cache capacity big enough to merge an existing snapshot plus new
+/// work without evicting persisted entries (a too-small cache would
+/// silently shrink the store on save-back).
+std::size_t warm_capacity(const std::string& cache_file, std::size_t floor) {
+  std::size_t entries = 0;
+  if (!cache_file.empty() && std::filesystem::exists(cache_file))
+    entries = static_cast<std::size_t>(
+        ccov::engine::snapshot_entry_count_file(cache_file));
+  return std::max(floor, 2 * entries);
+}
+
+/// Load `cache_file` into the cache when it exists; 0 entries otherwise.
+std::size_t load_snapshot_if_exists(const std::string& cache_file,
+                                    ccov::engine::CoverCache& cache) {
+  if (cache_file.empty() || !std::filesystem::exists(cache_file)) return 0;
+  return ccov::engine::load_snapshot_file(cache_file, cache);
 }
 
 /// Shared request assembly for the engine-backed subcommands.
@@ -202,10 +236,19 @@ int cmd_sweep(const ccov::util::Cli& cli) {
   for (std::uint32_t n = n_from; n <= n_to; n += step)
     requests.push_back(make_request(cli, n));
 
-  ccov::engine::Engine engine;
+  // --cache-file warm-starts the sweep from a snapshot and persists the
+  // merged store afterwards, so repeated sweeps skip solved instances.
+  const std::string cache_file = cli.get("cache-file", "");
+  ccov::engine::EngineOptions eopts;
+  if (!cache_file.empty())
+    eopts.cache_capacity = warm_capacity(cache_file, 1 << 16);
+  ccov::engine::Engine engine(eopts);
+  load_snapshot_if_exists(cache_file, engine.cache());
   ccov::engine::BatchRunner runner(
       engine, {static_cast<std::size_t>(cli.get_int("jobs", 0))});
   const auto responses = runner.run(requests);
+  if (!cache_file.empty())
+    ccov::engine::save_snapshot_file(cache_file, engine.cache());
 
   std::vector<std::string> headers = {"algo", "n",     "rho",      "cycles",
                                       "c3",   "c4",    "found",    "exhausted",
@@ -255,6 +298,110 @@ int cmd_sweep(const ccov::util::Cli& cli) {
   return failures == 0 ? 0 : 1;
 }
 
+int cmd_serve(const ccov::util::Cli& cli) {
+  ccov::engine::ServeOptions sopts;
+  sopts.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
+  sopts.batch = static_cast<std::size_t>(cli.get_int("batch", 1));
+  sopts.cache_file = cli.get("cache-file", "");
+
+  ccov::engine::EngineOptions eopts;
+  eopts.cache_capacity = std::max(
+      static_cast<std::size_t>(cli.get_int("cache-capacity", 1 << 14)),
+      warm_capacity(sopts.cache_file, 0));
+  eopts.cache_shards = static_cast<std::size_t>(cli.get_int(
+      "cache-shards",
+      static_cast<std::int64_t>(ccov::engine::CoverCache::kDefaultShards)));
+  ccov::engine::Engine engine(eopts);
+
+  if (const std::size_t loaded =
+          load_snapshot_if_exists(sopts.cache_file, engine.cache())) {
+    std::cerr << "serve: warm-started " << loaded << " entries from "
+              << sopts.cache_file << "\n";
+  }
+  const int rc = ccov::engine::serve_loop(std::cin, std::cout, engine, sopts);
+  if (!sopts.cache_file.empty()) {
+    ccov::engine::save_snapshot_file(sopts.cache_file, engine.cache());
+    std::cerr << "serve: saved " << engine.cache().size() << " entries to "
+              << sopts.cache_file << "\n";
+  }
+  return rc;
+}
+
+int cmd_cache(const ccov::util::Cli& cli) {
+  const auto& pos = cli.positional();
+  const std::string verb = pos.size() > 1 ? pos[1] : "";
+  const std::string file = cli.get("cache-file", "");
+  if (verb.empty() || file.empty()) {
+    std::cerr << "cache: usage: ccov cache stats|save|load|clear "
+                 "--cache-file F\n";
+    return 1;
+  }
+
+  if (verb == "stats" || verb == "load") {
+    ccov::engine::CoverCache cache(warm_capacity(file, 1));
+    const std::size_t entries =
+        ccov::engine::load_snapshot_file(file, cache);
+    std::cout << "file:    " << file << "\n"
+              << "version: " << ccov::engine::kSnapshotVersion << "\n"
+              << "bytes:   " << std::filesystem::file_size(file) << "\n"
+              << "entries: " << entries << "\n";
+    if (verb == "stats") {
+      // Per-algorithm breakdown: the canonical key starts "algo|n=...".
+      std::map<std::string, std::size_t> per_algo;
+      for (const auto& [key, resp] : cache.export_entries())
+        ++per_algo[key.substr(0, key.find('|'))];
+      for (const auto& [algo, count] : per_algo)
+        std::cout << "  " << algo << ": " << count << "\n";
+    } else {
+      std::cout << "load: snapshot ok\n";
+    }
+    return 0;
+  }
+  if (verb == "clear") {
+    ccov::engine::CoverCache empty(1);
+    ccov::engine::save_snapshot_file(file, empty);
+    std::cout << "cleared " << file << "\n";
+    return 0;
+  }
+  if (verb == "save") {
+    // Offline warming: run the given sweep through an engine seeded from
+    // the snapshot (if present) and persist the merged store.
+    const auto n_from =
+        static_cast<std::uint32_t>(cli.get_int("n-from", 3));
+    const auto n_to =
+        static_cast<std::uint32_t>(cli.get_int("n-to", n_from));
+    const auto step = static_cast<std::uint32_t>(cli.get_int("step", 1));
+    if (n_from < 3 || n_to < n_from || step == 0) {
+      std::cerr << "cache save: need 3 <= --n-from <= --n-to and --step >= "
+                   "1\n";
+      return 1;
+    }
+    ccov::engine::EngineOptions eopts;
+    eopts.cache_capacity = warm_capacity(file, 1 << 16);
+    ccov::engine::Engine engine(eopts);
+    load_snapshot_if_exists(file, engine.cache());
+    std::vector<ccov::engine::CoverRequest> requests;
+    for (std::uint32_t n = n_from; n <= n_to; n += step)
+      requests.push_back(make_request(cli, n));
+    ccov::engine::BatchRunner runner(
+        engine, {static_cast<std::size_t>(cli.get_int("jobs", 0))});
+    int failures = 0;
+    for (const auto& resp : runner.run(requests)) {
+      if (resp.ok) continue;
+      ++failures;
+      std::cerr << "cache save: " << resp.algorithm << " n=" << resp.n
+                << ": " << resp.error << "\n";
+    }
+    ccov::engine::save_snapshot_file(file, engine.cache());
+    std::cout << "saved " << engine.cache().size() << " entries to " << file
+              << "\n";
+    return failures == 0 ? 0 : 1;
+  }
+  std::cerr << "cache: unknown verb '" << verb
+            << "' (expected stats|save|load|clear)\n";
+  return 1;
+}
+
 int cmd_algos() {
   const auto& reg = ccov::engine::AlgorithmRegistry::global();
   ccov::util::Table t({"name", "description"});
@@ -282,6 +429,8 @@ int main(int argc, char** argv) {
     if (cmd == "protect") return cmd_protect(cli);
     if (cmd == "run") return cmd_run(cli);
     if (cmd == "sweep") return cmd_sweep(cli);
+    if (cmd == "serve") return cmd_serve(cli);
+    if (cmd == "cache") return cmd_cache(cli);
     if (cmd == "algos") return cmd_algos();
   } catch (const std::exception& e) {
     std::cerr << "ccov " << cmd << ": " << e.what() << "\n";
