@@ -1,0 +1,164 @@
+#pragma once
+/// \file net.hpp
+/// TCP front end for the serve protocol (POSIX sockets). A ServeServer
+/// accepts N concurrent clients, each speaking the exact JSONL protocol
+/// of serve.hpp over its own connection, all sharing the one Engine —
+/// and therefore one warm CoverCache and one thread pool. Shutdown is
+/// cooperative through a self-pipe: shutdown() (or a signal handler via
+/// wake_fd()) writes one byte, the accept loop and every blocked
+/// per-connection read wake up, sessions flush their pending responses
+/// and exit, and run() returns so the caller can still save the store.
+///
+/// SIGPIPE is ignored for the whole process while a ServeServer exists
+/// (writes use MSG_NOSIGNAL as well): one client disconnecting
+/// mid-response tears down only that connection, never the server.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "ccov/engine/serve.hpp"
+
+namespace ccov::engine::net {
+
+/// Parse a "host:port" listen spec. Accepted forms: "host:port",
+/// ":port" (wildcard host), "port" (loopback host), "[v6addr]:port".
+/// Port 0 requests an ephemeral port (the listener reports the real
+/// one). Returns false and sets *error on malformed specs; never throws.
+bool parse_endpoint(const std::string& spec, std::string* host,
+                    std::uint16_t* port, std::string* error);
+
+/// Ignore SIGPIPE process-wide so a write to a half-closed socket
+/// returns EPIPE instead of killing the process. Idempotent; called by
+/// ServeServer's constructor.
+void ignore_sigpipe();
+
+/// A bound, listening TCP socket. Throws std::runtime_error when the
+/// address cannot be resolved or bound.
+class TcpListener {
+ public:
+  TcpListener(const std::string& host, std::uint16_t port, int backlog = 64);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The actually bound port — resolves port 0 to the kernel's pick.
+  std::uint16_t port() const { return port_; }
+
+  /// Block until a connection arrives, `wake_fd` becomes readable, or
+  /// `timeout_ms` elapses. Returns the accepted socket fd, kWoken when
+  /// `wake_fd` fired (shutdown), kTick on timeout (so callers get a
+  /// periodic slot for housekeeping such as reaping finished
+  /// connections), or kFailed when the listener itself is broken.
+  /// Retries EINTR and transient accept errors internally.
+  static constexpr int kWoken = -1;
+  static constexpr int kFailed = -2;
+  static constexpr int kTick = -3;
+  int accept_connection(int wake_fd, int timeout_ms = -1);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// ServeStream over a connected socket (switched to non-blocking; all
+/// waiting happens in poll). read_some polls the socket together with
+/// the server's shutdown pipe, so a blocked read wakes promptly on
+/// shutdown and reports end-of-stream. write_all retries EINTR/EAGAIN
+/// and partial writes, reports a dead peer (EPIPE/ECONNRESET) as false
+/// instead of raising, and — once shutdown has been requested — gives a
+/// stalled peer only a bounded grace period to drain its responses, so
+/// one full send buffer can never hang the server's shutdown join.
+/// Owns the fd.
+class SocketStream final : public ServeStream {
+ public:
+  /// Grace period a write may keep waiting after shutdown is requested.
+  static constexpr int kShutdownWriteGraceMs = 5000;
+
+  /// `wake_fd` < 0 disables the shutdown poll (plain blocking reads).
+  explicit SocketStream(int fd, int wake_fd = -1);
+  ~SocketStream() override;
+
+  SocketStream(const SocketStream&) = delete;
+  SocketStream& operator=(const SocketStream&) = delete;
+
+  std::ptrdiff_t read_some(char* buf, std::size_t n) override;
+  bool write_all(const char* data, std::size_t n) override;
+
+ private:
+  int fd_;
+  int wake_fd_;
+  /// Milliseconds of write grace left once shutdown was observed; -1
+  /// until then (wait without a deadline).
+  int shutdown_grace_ms_ = -1;
+};
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see ServeServer::port()
+  /// Concurrent connections beyond this are answered with one in-band
+  /// {"ok":false,...} line and closed immediately.
+  std::size_t max_clients = 64;
+  int backlog = 64;
+};
+
+/// `ccov serve --listen`: a thread-per-connection TCP server in front of
+/// serve_session. Every connection shares `engine` (one cache, one
+/// pool); each runs the full JSONL protocol independently with its own
+/// per-connection line ids starting at 0.
+class ServeServer {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on
+  /// failure) so port() is valid before run() is called.
+  ServeServer(Engine& engine, ServeOptions serve_opts, ServerOptions opts);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  const std::string& host() const { return opts_.host; }
+
+  /// Accept clients until shutdown() is called; joins every connection
+  /// thread before returning. Returns 0 on a clean shutdown.
+  int run();
+
+  /// Request shutdown from any thread. Safe to call more than once.
+  void shutdown();
+
+  /// Write end of the self-pipe — async-signal-safe shutdown channel
+  /// for signal handlers (write one byte to trigger shutdown).
+  int wake_fd() const { return wake_wr_; }
+
+ private:
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void reap_finished(bool join_all);
+
+  Engine& engine_;
+  ServeOptions serve_opts_;
+  ServerOptions opts_;
+  TcpListener listener_;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::mutex conns_mu_;
+  std::list<Connection> conns_;
+};
+
+/// Install SIGINT/SIGTERM handlers that trigger `server.shutdown()`
+/// through the self-pipe (async-signal-safe). The handlers outlive the
+/// server object only as no-ops; intended for the CLI process, which
+/// serves exactly one server per run.
+void install_signal_shutdown(ServeServer& server);
+
+}  // namespace ccov::engine::net

@@ -5,9 +5,16 @@
 /// flat JSON objects ({"algo":"solve","n":8,...}); control verbs are
 /// {"op":"stats"|"save"|"clear"}. See src/engine/README.md for the full
 /// protocol. The parser and renderers are exposed so tests can drive
-/// them without a process boundary; serve_loop is the actual loop the
-/// CLI wires to stdin/stdout.
+/// them without a process boundary.
+///
+/// The protocol loop itself is parameterized over a transport: a
+/// ServeStream is any source/sink of newline-framed bytes —
+/// serve_loop wires one to stdin/stdout, net.hpp's SocketStream wires
+/// one to a TCP connection, and every transport shares the exact same
+/// serve_session, so socket responses are byte-identical to stdio
+/// responses for the same request stream.
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -16,6 +23,29 @@
 #include "ccov/engine/request.hpp"
 
 namespace ccov::engine {
+
+/// Transport seam for the serve loop: a bidirectional byte stream. The
+/// session reads newline-framed requests through read_some and writes
+/// response lines through write_all; reads and writes may come from two
+/// different threads (the session pipelines: it parses the next batch
+/// while the previous one solves), so implementations must tolerate one
+/// concurrent reader plus one concurrent writer.
+class ServeStream {
+ public:
+  virtual ~ServeStream() = default;
+
+  /// Read up to `n` bytes into `buf`. Returns the number of bytes read
+  /// (> 0), 0 on end-of-stream (EOF, peer disconnect, or server
+  /// shutdown), or -1 on a transport error. Must retry EINTR internally.
+  virtual std::ptrdiff_t read_some(char* buf, std::size_t n) = 0;
+
+  /// Write all `n` bytes. Returns false when the peer is gone (EPIPE,
+  /// reset) or the sink fails — the session then tears down quietly.
+  virtual bool write_all(const char* data, std::size_t n) = 0;
+
+  /// Flush buffered output (stdio transports); sockets need nothing.
+  virtual bool flush() { return true; }
+};
 
 /// One parsed input line: either a cover request or a control verb.
 struct ServeCommand {
@@ -51,11 +81,24 @@ struct ServeOptions {
   /// Snapshot path for the `save` control verb and the save-on-exit in
   /// the CLI wrapper; empty disables `save`.
   std::string cache_file;
+  /// Longest accepted input line in bytes (0 = unlimited). A longer line
+  /// is answered in-band with ok:false and discarded as it streams in —
+  /// the session never buffers more than this much of one line.
+  std::size_t max_line_bytes = 1 << 20;
 };
 
-/// Run the serve loop until EOF on `in`. Emits exactly one response line
-/// per input line, in input order (blank lines are ignored). Returns 0;
-/// protocol-level errors are reported in-band as {"ok":false,...} lines.
+/// Run the serve protocol over an arbitrary transport until
+/// end-of-stream. Emits exactly one response line per input line, in
+/// input order (blank lines are ignored). Batches are double-buffered:
+/// the session parses the next batch on the calling thread while a
+/// pipeline worker solves and writes the previous one, so reading and
+/// solving overlap for every transport. Returns 0; protocol-level
+/// errors are reported in-band as {"ok":false,...} lines, and a dead
+/// peer ends the session without raising.
+int serve_session(ServeStream& io, Engine& engine, const ServeOptions& opts);
+
+/// serve_session over an istream/ostream pair — the classic stdio
+/// `ccov serve` loop the CLI wires to std::cin/std::cout.
 int serve_loop(std::istream& in, std::ostream& out, Engine& engine,
                const ServeOptions& opts);
 

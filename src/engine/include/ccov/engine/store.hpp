@@ -26,6 +26,7 @@
 /// reproducible fields (lookup zeroes them on every hit anyway).
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -47,9 +48,13 @@ void save_snapshot(std::ostream& os, const CoverCache& cache);
 /// a bad magic, unknown version or truncated stream.
 std::size_t load_snapshot(std::istream& is, CoverCache& cache);
 
-/// File wrappers. save_snapshot_file throws std::runtime_error when the
-/// file cannot be opened or written; load_snapshot_file additionally on
-/// a corrupt snapshot.
+/// File wrappers. save_snapshot_file is *atomic*: the snapshot is
+/// written to a unique temp file in the target's directory and renamed
+/// over `path` only after the write fully succeeded, so a crash, kill or
+/// ENOSPC mid-save can never leave a corrupt snapshot where a good one
+/// was. It throws std::runtime_error when the file cannot be opened or
+/// written (the previous snapshot, if any, is left untouched);
+/// load_snapshot_file additionally throws on a corrupt snapshot.
 void save_snapshot_file(const std::string& path, const CoverCache& cache);
 std::size_t load_snapshot_file(const std::string& path, CoverCache& cache);
 
@@ -58,5 +63,16 @@ std::size_t load_snapshot_file(const std::string& path, CoverCache& cache);
 /// so warm starts never silently evict persisted entries. Throws
 /// std::runtime_error on a missing file, bad magic or unknown version.
 std::uint64_t snapshot_entry_count_file(const std::string& path);
+
+namespace detail {
+
+/// Test-only fault injection for save_snapshot_file: when set, called
+/// with the temp-file path after the snapshot body has been written but
+/// before the atomic rename. Throwing from the hook simulates a process
+/// that died (or hit ENOSPC) mid-save; the tests use it to verify the
+/// previous snapshot survives an interrupted save.
+std::function<void(const std::string& temp_path)>& snapshot_pre_rename_hook();
+
+}  // namespace detail
 
 }  // namespace ccov::engine

@@ -1,20 +1,23 @@
 #include "ccov/engine/serve.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <istream>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <sstream>
-#include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "ccov/engine/batch.hpp"
 #include "ccov/engine/store.hpp"
+#include "ccov/util/pipeline.hpp"
 
 namespace ccov::engine {
 
@@ -444,8 +447,108 @@ std::string serve_stats_line(std::uint64_t id, const CoverCache& cache) {
   return out;
 }
 
-int serve_loop(std::istream& in, std::ostream& out, Engine& engine,
-               const ServeOptions& opts) {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Line framing over a ServeStream: newline-delimited, CRLF-tolerant
+// (a single trailing '\r' is stripped), with a hard per-line byte limit
+// enforced *while streaming* — an oversized line is discarded as it
+// arrives instead of being buffered without bound, and reported as
+// kTooLong so the session can answer in-band.
+// ---------------------------------------------------------------------------
+
+class LineReader {
+ public:
+  LineReader(ServeStream& io, std::size_t max_line)
+      : io_(io),
+        max_(max_line ? max_line : std::numeric_limits<std::size_t>::max()) {}
+
+  enum class Result { kLine, kTooLong, kEof };
+
+  Result next(std::string* line) {
+    line->clear();
+    bool too_long = false;
+    for (;;) {
+      while (pos_ < len_) {
+        const char c = buf_[pos_++];
+        if (c == '\n') {
+          if (too_long) return Result::kTooLong;
+          if (!line->empty() && line->back() == '\r') line->pop_back();
+          return Result::kLine;
+        }
+        if (!too_long) {
+          line->push_back(c);
+          if (line->size() > max_) {
+            too_long = true;
+            line->clear();
+          }
+        }
+      }
+      pos_ = len_ = 0;
+      const std::ptrdiff_t r = io_.read_some(buf_, sizeof(buf_));
+      if (r <= 0) {
+        // End of stream: a partial final line (no trailing newline) is
+        // still a line, as with std::getline; the next call sees an
+        // empty buffer and reports EOF.
+        if (too_long) return Result::kTooLong;
+        if (!line->empty()) {
+          if (line->back() == '\r') line->pop_back();
+          return Result::kLine;
+        }
+        return Result::kEof;
+      }
+      len_ = static_cast<std::size_t>(r);
+    }
+  }
+
+ private:
+  ServeStream& io_;
+  std::size_t max_;
+  char buf_[4096];
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+};
+
+/// ServeStream over an istream/ostream pair (the stdio transport).
+class IostreamServeStream final : public ServeStream {
+ public:
+  IostreamServeStream(std::istream& in, std::ostream& out)
+      : in_(in), out_(out) {}
+
+  std::ptrdiff_t read_some(char* buf, std::size_t n) override {
+    // Block for one byte, then drain whatever is already buffered
+    // without blocking again. A full read(n) would stall an interactive
+    // client (a coprocess writing one line and waiting for the answer)
+    // until n bytes or EOF; this delivers every line as it arrives.
+    if (n == 0 || !in_.good()) return 0;
+    const int first = in_.get();
+    if (first == std::char_traits<char>::eof()) return 0;
+    buf[0] = static_cast<char>(first);
+    std::ptrdiff_t got = 1;
+    if (n > 1)
+      got += static_cast<std::ptrdiff_t>(
+          in_.readsome(buf + 1, static_cast<std::streamsize>(n - 1)));
+    return got;
+  }
+
+  bool write_all(const char* data, std::size_t n) override {
+    out_.write(data, static_cast<std::streamsize>(n));
+    return static_cast<bool>(out_);
+  }
+
+  bool flush() override {
+    out_.flush();
+    return static_cast<bool>(out_);
+  }
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+}  // namespace
+
+int serve_session(ServeStream& io, Engine& engine, const ServeOptions& opts) {
   struct Pending {
     std::uint64_t id = 0;
     bool is_request = false;
@@ -457,78 +560,126 @@ int serve_loop(std::istream& in, std::ostream& out, Engine& engine,
   std::size_t pending_requests = 0;
   const std::size_t batch = std::max<std::size_t>(1, opts.batch);
   BatchRunner runner(engine, {.jobs = opts.jobs});
+  // Double-buffered flushes: one worker executes flush jobs strictly in
+  // order while this thread keeps reading and parsing the next batch.
+  // In-order execution keeps cache-state evolution — and therefore
+  // every output byte — identical to a synchronous loop; a job returns
+  // false when the peer is gone and the session tears down quietly.
+  util::OrderedPipeline pipeline(/*depth=*/2);
 
-  const auto flush = [&] {
-    if (pending.empty()) return;
-    std::vector<CoverRequest> requests;
-    requests.reserve(pending_requests);
-    for (const Pending& p : pending)
-      if (p.is_request) requests.push_back(p.req);
-    const std::vector<CoverResponse> responses = runner.run(requests);
-    std::size_t k = 0;
-    for (const Pending& p : pending) {
-      if (p.is_request) {
-        out << serve_response_line(p.id, responses[k++]) << "\n";
-      } else {
-        out << serve_error_line(p.id, p.error) << "\n";
-      }
-    }
-    out.flush();
+  // Solve the buffered batch and write its responses — executed on the
+  // pipeline worker, so the reader below is already parsing the next
+  // batch while this one searches. Jobs run strictly in order, which
+  // keeps cache-state evolution (and therefore every byte of output)
+  // identical to a synchronous loop.
+  const auto enqueue_flush = [&]() -> bool {
+    if (pending.empty()) return true;
+    auto work = std::make_shared<std::vector<Pending>>(std::move(pending));
     pending.clear();
     pending_requests = 0;
+    return pipeline.enqueue([&io, &runner, work] {
+      std::vector<CoverRequest> requests;
+      for (const Pending& p : *work)
+        if (p.is_request) requests.push_back(p.req);
+      const std::vector<CoverResponse> responses = runner.run(requests);
+      std::string out;
+      std::size_t k = 0;
+      for (const Pending& p : *work) {
+        out += p.is_request ? serve_response_line(p.id, responses[k++])
+                            : serve_error_line(p.id, p.error);
+        out += "\n";
+      }
+      return io.write_all(out.data(), out.size()) && io.flush();
+    });
   };
 
+  const auto enqueue_line_job = [&](std::function<std::string()> render) {
+    return pipeline.enqueue([&io, render = std::move(render)] {
+      const std::string out = render() + "\n";
+      return io.write_all(out.data(), out.size()) && io.flush();
+    });
+  };
+
+  LineReader reader(io, opts.max_line_bytes);
   std::uint64_t id = 0;
   std::string line;
-  while (std::getline(in, line)) {
+  bool alive = true;
+  while (alive) {
+    const LineReader::Result r = reader.next(&line);
+    if (r == LineReader::Result::kEof) break;
+    if (r == LineReader::Result::kTooLong) {
+      pending.push_back({id++, false, {},
+                         "parse: line exceeds max line length (" +
+                             std::to_string(opts.max_line_bytes) + " bytes)"});
+      if (pending.size() >= batch) alive = enqueue_flush();
+      continue;
+    }
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     ServeCommand cmd;
     std::string error;
     if (!parse_serve_line(line, &cmd, &error)) {
       pending.push_back({id++, false, {}, "parse: " + error});
-      if (pending.size() >= batch) flush();
+      if (pending.size() >= batch) alive = enqueue_flush();
       continue;
     }
     switch (cmd.kind) {
       case ServeCommand::Kind::kRequest:
         pending.push_back({id++, true, std::move(cmd.req), {}});
         ++pending_requests;
-        if (pending_requests >= batch) flush();
+        if (pending_requests >= batch) alive = enqueue_flush();
         break;
       case ServeCommand::Kind::kStats:
-        flush();
-        out << serve_stats_line(id++, engine.cache()) << "\n";
-        out.flush();
+        // Control verbs flush first, then render *inside* the pipeline
+        // job: the worker executes jobs in order, so the stats snapshot
+        // observes exactly the requests that preceded it in the stream.
+        alive = enqueue_flush() &&
+                enqueue_line_job([&engine, stats_id = id] {
+                  return serve_stats_line(stats_id, engine.cache());
+                });
+        ++id;
         break;
       case ServeCommand::Kind::kSave:
-        flush();
-        if (opts.cache_file.empty()) {
-          out << serve_error_line(id++, "save: no --cache-file configured")
-              << "\n";
-        } else {
-          try {
-            save_snapshot_file(opts.cache_file, engine.cache());
-            out << "{\"id\":" << id++ << ",\"op\":\"save\",\"ok\":true"
-                << ",\"entries\":" << engine.cache().size() << ",\"file\":";
-            std::string f;
-            append_escaped(&f, opts.cache_file);
-            out << f << "}\n";
-          } catch (const std::exception& e) {
-            out << serve_error_line(id++, e.what()) << "\n";
-          }
-        }
-        out.flush();
+        alive = enqueue_flush() &&
+                enqueue_line_job([&engine, &opts, save_id = id] {
+                  if (opts.cache_file.empty())
+                    return serve_error_line(save_id,
+                                            "save: no --cache-file configured");
+                  try {
+                    save_snapshot_file(opts.cache_file, engine.cache());
+                    std::string out = "{\"id\":" + std::to_string(save_id);
+                    out += ",\"op\":\"save\",\"ok\":true,\"entries\":";
+                    out += std::to_string(engine.cache().size());
+                    out += ",\"file\":";
+                    append_escaped(&out, opts.cache_file);
+                    out += "}";
+                    return out;
+                  } catch (const std::exception& e) {
+                    return serve_error_line(save_id, e.what());
+                  }
+                });
+        ++id;
         break;
       case ServeCommand::Kind::kClear:
-        flush();
-        engine.cache().clear();
-        out << "{\"id\":" << id++ << ",\"op\":\"clear\",\"ok\":true}\n";
-        out.flush();
+        alive = enqueue_flush() && enqueue_line_job([&engine, clear_id = id] {
+                  engine.cache().clear();
+                  return "{\"id\":" + std::to_string(clear_id) +
+                         ",\"op\":\"clear\",\"ok\":true}";
+                });
+        ++id;
         break;
     }
   }
-  flush();
+  if (alive) {
+    enqueue_flush();
+    pipeline.drain();
+  }
   return 0;
+}
+
+int serve_loop(std::istream& in, std::ostream& out, Engine& engine,
+               const ServeOptions& opts) {
+  IostreamServeStream io(in, out);
+  return serve_session(io, engine, opts);
 }
 
 }  // namespace ccov::engine

@@ -1,14 +1,24 @@
 #include "ccov/engine/store.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 #include <vector>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace ccov::engine {
 
@@ -184,13 +194,76 @@ std::size_t load_snapshot(std::istream& is, CoverCache& cache) {
   return static_cast<std::size_t>(count);
 }
 
+namespace detail {
+
+std::function<void(const std::string&)>& snapshot_pre_rename_hook() {
+  static std::function<void(const std::string&)> hook;
+  return hook;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Flush the file's data to stable storage (best effort on platforms
+/// without fsync) so the rename below never publishes a snapshot whose
+/// bytes are still only in the page cache.
+void sync_to_disk(const std::filesystem::path& p) {
+#ifndef _WIN32
+  const int fd = ::open(p.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) throw std::runtime_error("snapshot: cannot reopen " +
+                                       p.string() + " for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0)
+    throw std::runtime_error("snapshot: fsync of " + p.string() + " failed");
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace
+
 void save_snapshot_file(const std::string& path, const CoverCache& cache) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("snapshot: cannot open " + path +
-                                    " for writing");
-  save_snapshot(os, cache);
-  os.flush();
-  if (!os) throw std::runtime_error("snapshot: write to " + path + " failed");
+  namespace fs = std::filesystem;
+  // Write-to-temp-then-rename: the temp file lives in the target's
+  // directory so the final rename is an atomic same-filesystem replace.
+  // A crash at any point leaves either the old snapshot or the new one —
+  // never a truncated hybrid. The name is unique per process *and* per
+  // save, so concurrent savers cannot trample each other's temp file.
+  static std::atomic<std::uint64_t> save_seq{0};
+  const fs::path target(path);
+  fs::path dir = target.parent_path();
+  if (dir.empty()) dir = ".";
+#ifdef _WIN32
+  const long pid = static_cast<long>(::_getpid());
+#else
+  const long pid = static_cast<long>(::getpid());
+#endif
+  const fs::path tmp =
+      dir / (target.filename().string() + ".tmp." + std::to_string(pid) + "." +
+             std::to_string(save_seq.fetch_add(1, std::memory_order_relaxed)));
+  try {
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os)
+        throw std::runtime_error("snapshot: cannot open " + tmp.string() +
+                                 " for writing");
+      save_snapshot(os, cache);
+      os.flush();
+      if (!os)
+        throw std::runtime_error("snapshot: write to " + tmp.string() +
+                                 " failed");
+    }
+    sync_to_disk(tmp);
+    if (const auto& hook = detail::snapshot_pre_rename_hook())
+      hook(tmp.string());
+    fs::rename(tmp, target);
+  } catch (...) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw;
+  }
 }
 
 std::size_t load_snapshot_file(const std::string& path, CoverCache& cache) {

@@ -1,0 +1,61 @@
+#pragma once
+/// \file pipeline.hpp
+/// OrderedPipeline: a single worker thread that executes jobs strictly
+/// in submission order, with a bounded amount of read-ahead. The
+/// producer keeps going while the worker runs — enqueue only blocks
+/// once `depth` jobs are outstanding — which is exactly the
+/// double-buffering the serve loop uses to parse the next batch while
+/// the current one solves. A job returns false to poison the pipeline
+/// (e.g. the peer hung up): queued jobs are dropped and every later
+/// enqueue/drain reports dead, so the producer can stop cleanly.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace ccov::util {
+
+class OrderedPipeline {
+ public:
+  /// \p depth outstanding jobs (running + queued) before enqueue
+  /// blocks; 2 = classic double buffering (one running, one ready).
+  explicit OrderedPipeline(std::size_t depth = 2);
+
+  /// Drains nothing: remaining queued jobs still execute (in order)
+  /// before the worker exits, unless the pipeline died.
+  ~OrderedPipeline();
+
+  OrderedPipeline(const OrderedPipeline&) = delete;
+  OrderedPipeline& operator=(const OrderedPipeline&) = delete;
+
+  /// Queue a job behind the in-flight ones, blocking while the buffer
+  /// is full. Returns false once the pipeline is dead (a job returned
+  /// false or threw); the job is then not queued.
+  bool enqueue(std::function<bool()> job);
+
+  /// Block until every queued job has run. Returns false if the
+  /// pipeline died.
+  bool drain();
+
+ private:
+  std::size_t outstanding() const {
+    return queue_.size() + (running_ ? 1 : 0);
+  }
+
+  void run();
+
+  const std::size_t depth_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable space_cv_;
+  std::deque<std::function<bool()>> queue_;
+  bool running_ = false;
+  bool dead_ = false;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace ccov::util

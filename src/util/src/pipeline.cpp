@@ -1,0 +1,60 @@
+#include "ccov/util/pipeline.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ccov::util {
+
+OrderedPipeline::OrderedPipeline(std::size_t depth)
+    : depth_(std::max<std::size_t>(1, depth)), worker_([this] { run(); }) {}
+
+OrderedPipeline::~OrderedPipeline() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+bool OrderedPipeline::enqueue(std::function<bool()> job) {
+  std::unique_lock<std::mutex> lk(mu_);
+  space_cv_.wait(lk, [&] { return dead_ || outstanding() < depth_; });
+  if (dead_) return false;
+  queue_.push_back(std::move(job));
+  work_cv_.notify_all();
+  return true;
+}
+
+bool OrderedPipeline::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  space_cv_.wait(lk, [&] { return dead_ || (queue_.empty() && !running_); });
+  return !dead_;
+}
+
+void OrderedPipeline::run() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ with nothing left to do
+    std::function<bool()> job = std::move(queue_.front());
+    queue_.pop_front();
+    running_ = true;
+    lk.unlock();
+    bool ok = false;
+    try {
+      ok = job();
+    } catch (...) {
+      ok = false;
+    }
+    lk.lock();
+    running_ = false;
+    if (!ok) {
+      dead_ = true;
+      queue_.clear();
+    }
+    space_cv_.notify_all();
+  }
+}
+
+}  // namespace ccov::util

@@ -157,6 +157,74 @@ WARM=$(echo '{"algo":"solve","n":8}' | "${CCOV}" serve --cache-file "${SNAP}" 2>
 echo "${WARM}" | grep -q '"nodes":0,"cache_hit":true' \
   || fail "warm-started serve should answer from the snapshot: ${WARM}"
 
+echo "== ccov serve answers interactively (stdin stays open)"
+coproc SERVE_PROC { "${CCOV}" serve 2>/dev/null; }
+SERVE_COPROC_PID=${SERVE_PROC_PID}
+printf '%s\n' '{"algo":"construct","n":9}' >&"${SERVE_PROC[1]}"
+IFS= read -r -t 30 line <&"${SERVE_PROC[0]}" \
+  || fail "serve did not answer while stdin was still open"
+echo "${line}" | grep -q '"id":0,"ok":true' \
+  || fail "interactive response malformed: ${line}"
+eval "exec ${SERVE_PROC[1]}>&-"
+wait "${SERVE_COPROC_PID}" || fail "interactive serve should exit 0"
+
+echo "== ccov serve handles CRLF and oversized lines in-band"
+printf '{"algo":"construct","n":9}\r\n' | "${CCOV}" serve 2>/dev/null \
+  | grep -q '"id":0,"ok":true' || fail "CRLF-terminated requests should parse"
+LONG_LINE=$(head -c 2000 /dev/zero | tr '\0' 'x')
+printf '%s\n{"algo":"construct","n":9}\n' "${LONG_LINE}" \
+  | "${CCOV}" serve --max-line 256 2>/dev/null > "${TMPDIR_SMOKE}/long.jsonl" \
+  || fail "serve with an oversized line should keep running"
+grep -q '"id":0,"ok":false,"error":"parse: line exceeds' "${TMPDIR_SMOKE}/long.jsonl" \
+  || fail "oversized line should be rejected in-band"
+grep -q '"id":1,"ok":true' "${TMPDIR_SMOKE}/long.jsonl" \
+  || fail "the line after an oversized one should still be answered"
+
+echo "== ccov serve --listen (TCP loopback, byte-identical to stdio)"
+LISTEN_ERR="${TMPDIR_SMOKE}/listen.err"
+LISTEN_SNAP="${TMPDIR_SMOKE}/listen_store.bin"
+"${CCOV}" serve --listen 127.0.0.1:0 --cache-file "${LISTEN_SNAP}" \
+  2>"${LISTEN_ERR}" &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 100); do
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+    "${LISTEN_ERR}" 2>/dev/null || true)
+  [ -n "${PORT}" ] && break
+  sleep 0.1
+done
+[ -n "${PORT}" ] || fail "server did not report its listening port"
+
+# Scripted client 1: the same request file as the stdio runs above.
+TCP_OUT="${TMPDIR_SMOKE}/tcp.jsonl"
+: > "${TCP_OUT}"
+exec 3<>"/dev/tcp/127.0.0.1/${PORT}" || fail "cannot connect to port ${PORT}"
+cat "${REQS}" >&3
+for _ in $(seq "$(wc -l < "${REQS}")"); do
+  IFS= read -r line <&3 || fail "server closed the connection early"
+  printf '%s\n' "${line}" >> "${TCP_OUT}"
+done
+exec 3<&- 3>&-
+cmp -s "${SERVE1}" "${TCP_OUT}" \
+  || fail "TCP responses should be byte-identical to stdio serve"
+
+# Scripted client 2: repeats are served from the shared warm cache.
+exec 3<>"/dev/tcp/127.0.0.1/${PORT}" || fail "cannot reconnect to ${PORT}"
+printf '%s\n' '{"algo":"solve","n":7}' >&3
+IFS= read -r line <&3 || fail "second client got no response"
+echo "${line}" | grep -q '"nodes":0,"cache_hit":true' \
+  || fail "second TCP client should hit the warm shared cache: ${line}"
+exec 3<&- 3>&-
+
+kill -TERM "${SERVER_PID}"
+wait "${SERVER_PID}" || fail "server should exit 0 on SIGTERM"
+[ -s "${LISTEN_SNAP}" ] || fail "server should save the store on SIGTERM"
+"${CCOV}" cache load --cache-file "${LISTEN_SNAP}" | grep -q "snapshot ok" \
+  || fail "snapshot saved on shutdown should load cleanly"
+if ls "${TMPDIR_SMOKE}" | grep -q "\.tmp\."; then
+  fail "atomic save left a temp file behind"
+fi
+
 echo "== ccov cache stats / load / save / clear"
 "${CCOV}" cache stats --cache-file "${SNAP}" | grep -q "entries: 1" \
   || fail "cache stats should count the stored entry"

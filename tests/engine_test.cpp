@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -764,6 +766,93 @@ TEST(Snapshot, RejectsCorruptStreams) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+namespace {
+
+/// RAII guard for the snapshot save fault-injection hook.
+class PreRenameHookGuard {
+ public:
+  explicit PreRenameHookGuard(std::function<void(const std::string&)> hook) {
+    eng::detail::snapshot_pre_rename_hook() = std::move(hook);
+  }
+  ~PreRenameHookGuard() { eng::detail::snapshot_pre_rename_hook() = nullptr; }
+};
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+TEST(Snapshot, InterruptedSaveNeverCorruptsThePreviousSnapshot) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "ccov_atomic_save_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "store.bin").string();
+
+  // A good snapshot with one entry.
+  eng::Engine engine;
+  ASSERT_TRUE(engine.run(make_req("construct", 9)).ok);
+  eng::save_snapshot_file(path, engine.cache());
+  const std::string good_bytes = read_file_bytes(path);
+  ASSERT_FALSE(good_bytes.empty());
+
+  // A bigger store whose save gets killed mid-way: the hook fires after
+  // the temp file is fully written but before the rename — it truncates
+  // the temp file (the bytes a crashed process would leave behind) and
+  // then dies. The target file must be untouched.
+  ASSERT_TRUE(engine.run(make_req("construct", 11)).ok);
+  std::string observed_tmp;
+  {
+    PreRenameHookGuard guard([&](const std::string& tmp) {
+      observed_tmp = tmp;
+      EXPECT_NE(tmp, path);  // never writes through the target in place
+      EXPECT_EQ(fs::path(tmp).parent_path(), fs::path(path).parent_path())
+          << "temp must live in the target dir so the rename is atomic";
+      // At this point the previous snapshot is still fully intact.
+      EXPECT_EQ(read_file_bytes(path), good_bytes);
+      std::ofstream truncate(tmp, std::ios::binary | std::ios::trunc);
+      truncate << "partial";
+      throw std::runtime_error("simulated crash mid-save");
+    });
+    EXPECT_THROW(eng::save_snapshot_file(path, engine.cache()),
+                 std::runtime_error);
+  }
+  ASSERT_FALSE(observed_tmp.empty());
+
+  // The old snapshot survived byte for byte and still loads...
+  EXPECT_EQ(read_file_bytes(path), good_bytes);
+  eng::CoverCache check(256);
+  EXPECT_EQ(eng::load_snapshot_file(path, check), 1u);
+  // ...and the dead save's temp file was cleaned up.
+  EXPECT_FALSE(fs::exists(observed_tmp));
+  for (const auto& entry : fs::directory_iterator(dir))
+    EXPECT_EQ(entry.path().string(), path)
+        << "unexpected leftover: " << entry.path();
+
+  // With the fault gone, the same save completes and replaces the file.
+  eng::save_snapshot_file(path, engine.cache());
+  eng::CoverCache merged(256);
+  EXPECT_EQ(eng::load_snapshot_file(path, merged), 2u);
+  fs::remove_all(dir);
+}
+
+TEST(Snapshot, SaveToUnwritableDirectoryLeavesNoTrace) {
+  namespace fs = std::filesystem;
+  const std::string path = (fs::path(testing::TempDir()) /
+                            "ccov_no_such_dir" / "deeper" / "store.bin")
+                               .string();
+  eng::Engine engine;
+  ASSERT_TRUE(engine.run(make_req("construct", 9)).ok);
+  EXPECT_THROW(eng::save_snapshot_file(path, engine.cache()),
+               std::runtime_error);
+  EXPECT_FALSE(fs::exists(path));
+}
+
 // ---------------------------------------------------------------------------
 // Serve protocol (serve.hpp)
 // ---------------------------------------------------------------------------
@@ -917,6 +1006,88 @@ TEST(Serve, SaveVerbWithoutCacheFileIsAnInBandError) {
   const std::string out = run_serve("{\"op\":\"save\"}\n", 1, 1);
   EXPECT_NE(out.find("\"ok\":false"), std::string::npos);
   EXPECT_NE(out.find("no --cache-file"), std::string::npos);
+}
+
+namespace {
+
+/// A ServeStream that delivers input one byte per read — the worst-case
+/// framing a slow network or interactive client can produce.
+class TrickleStream final : public eng::ServeStream {
+ public:
+  explicit TrickleStream(std::string input) : input_(std::move(input)) {}
+
+  std::ptrdiff_t read_some(char* buf, std::size_t n) override {
+    if (pos_ >= input_.size() || n == 0) return 0;
+    buf[0] = input_[pos_++];
+    return 1;
+  }
+
+  bool write_all(const char* data, std::size_t n) override {
+    output_.append(data, n);
+    return true;
+  }
+
+  const std::string& output() const { return output_; }
+
+ private:
+  std::string input_;
+  std::size_t pos_ = 0;
+  std::string output_;
+};
+
+}  // namespace
+
+TEST(Serve, SessionIsByteIdenticalUnderOneBytePacketization) {
+  const std::string input =
+      "{\"algo\":\"construct\",\"n\":9}\r\n"
+      "{\"algo\":\"greedy\",\"n\":9,\"demand\":[[0,3],[1,4]]}\n"
+      "{\"op\":\"stats\"}\n";
+  const std::string expected = run_serve(input, 1, 1);
+  TrickleStream trickle(input);
+  eng::Engine engine;
+  ASSERT_EQ(eng::serve_session(trickle, engine, {}), 0);
+  EXPECT_EQ(trickle.output(), expected);
+}
+
+TEST(Serve, StripsTrailingCarriageReturns) {
+  // CRLF clients (telnet, Windows pipes) must get the same bytes back as
+  // LF clients — the '\r' is framing, not payload.
+  const std::string lf =
+      "{\"algo\":\"construct\",\"n\":9}\n{\"op\":\"stats\"}\n";
+  const std::string crlf =
+      "{\"algo\":\"construct\",\"n\":9}\r\n{\"op\":\"stats\"}\r\n";
+  EXPECT_EQ(run_serve(lf, 1, 1), run_serve(crlf, 1, 1));
+}
+
+TEST(Serve, OversizedLinesAreRejectedInBandAndSkipped) {
+  eng::Engine engine;
+  eng::ServeOptions opts;
+  opts.max_line_bytes = 64;
+  const std::string big(1000, 'x');
+  std::istringstream in(big + "\n{\"algo\":\"construct\",\"n\":9}\n");
+  std::ostringstream out;
+  ASSERT_EQ(eng::serve_loop(in, out, engine, opts), 0);
+  // The oversized line consumed id 0 and was answered in-band; the next
+  // line still parsed and ran as id 1.
+  EXPECT_NE(out.str().find(
+                "{\"id\":0,\"ok\":false,\"error\":\"parse: line exceeds"),
+            std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("{\"id\":1,\"ok\":true,\"algo\":\"construct\""),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(Serve, OversizedFinalLineWithoutNewlineIsStillReported) {
+  eng::Engine engine;
+  eng::ServeOptions opts;
+  opts.max_line_bytes = 64;
+  std::istringstream in(std::string(1000, 'y'));  // no trailing newline
+  std::ostringstream out;
+  ASSERT_EQ(eng::serve_loop(in, out, engine, opts), 0);
+  EXPECT_NE(out.str().find("\"error\":\"parse: line exceeds"),
+            std::string::npos)
+      << out.str();
 }
 
 TEST(Serve, ClearVerbEmptiesTheStore) {

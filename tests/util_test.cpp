@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <future>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -10,6 +11,7 @@
 #include "ccov/util/cli.hpp"
 #include "ccov/util/csv.hpp"
 #include "ccov/util/ints.hpp"
+#include "ccov/util/pipeline.hpp"
 #include "ccov/util/prng.hpp"
 #include "ccov/util/table.hpp"
 #include "ccov/util/thread_pool.hpp"
@@ -307,6 +309,81 @@ TEST(ThreadPool, ConcurrentParallelForCallersAreIsolated) {
   EXPECT_EQ(good_saw_exception.load(), 0);
   EXPECT_EQ(good_hits.load(), kRounds * kSpan);
   pool.wait_idle();  // the pool itself is still healthy
+}
+
+TEST(OrderedPipeline, RunsJobsStrictlyInSubmissionOrder) {
+  cu::OrderedPipeline pipe(2);
+  std::vector<int> order;
+  std::mutex mu;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pipe.enqueue([i, &order, &mu] {
+      std::lock_guard<std::mutex> lk(mu);
+      order.push_back(i);
+      return true;
+    }));
+  }
+  ASSERT_TRUE(pipe.drain());
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(OrderedPipeline, ProducerOverlapsWithTheRunningJob) {
+  // While the first job blocks, the producer can still queue the second
+  // (depth 2 = double buffering) without deadlocking.
+  cu::OrderedPipeline pipe(2);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<int> done{0};
+  ASSERT_TRUE(pipe.enqueue([gate, &done] {
+    gate.wait();
+    done++;
+    return true;
+  }));
+  ASSERT_TRUE(pipe.enqueue([&done] {
+    done++;
+    return true;
+  }));  // must not block: slot two of the double buffer
+  EXPECT_EQ(done.load(), 0);
+  release.set_value();
+  ASSERT_TRUE(pipe.drain());
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(OrderedPipeline, FailingJobPoisonsThePipeline) {
+  cu::OrderedPipeline pipe(2);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pipe.enqueue([&ran] {
+    ran++;
+    return false;  // peer gone
+  }));
+  // Eventually enqueue starts reporting dead; queued-but-unrun jobs are
+  // dropped and drain reports the failure.
+  while (pipe.enqueue([&ran] {
+    ran++;
+    return true;
+  })) {
+  }
+  EXPECT_FALSE(pipe.drain());
+  EXPECT_FALSE(pipe.enqueue([] { return true; }));
+}
+
+TEST(OrderedPipeline, ThrowingJobCountsAsFailure) {
+  cu::OrderedPipeline pipe(1);
+  ASSERT_TRUE(pipe.enqueue([]() -> bool { throw std::runtime_error("boom"); }));
+  EXPECT_FALSE(pipe.drain());
+}
+
+TEST(OrderedPipeline, DestructorRunsTheRemainingQueue) {
+  std::atomic<int> ran{0};
+  {
+    cu::OrderedPipeline pipe(4);
+    for (int i = 0; i < 4; ++i)
+      ASSERT_TRUE(pipe.enqueue([&ran] {
+        ran++;
+        return true;
+      }));
+  }
+  EXPECT_EQ(ran.load(), 4);
 }
 
 TEST(Timer, MeasuresNonNegative) {

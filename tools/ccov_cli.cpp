@@ -9,8 +9,8 @@
 //   ccov run      --algo solve --n 9          any registered algorithm
 //   ccov sweep    --n-from 3 --n-to 15 --algo construct --jobs 4
 //                                             batch sweep, CSV/JSON out
-//   ccov serve    [--jobs K] [--batch B] [--cache-file F]
-//                                             JSONL serve loop on stdio
+//   ccov serve    [--listen H:P] [--jobs K] [--batch B] [--cache-file F]
+//                                             JSONL serve loop (stdio or TCP)
 //   ccov cache    stats|save|load|clear --cache-file F
 //                                             snapshot maintenance
 //   ccov algos                                list registered algorithms
@@ -25,6 +25,7 @@
 #include <iostream>
 #include <map>
 #include <ostream>
+#include <stdexcept>
 
 #include "ccov/covering/bounds.hpp"
 #include "ccov/covering/construct.hpp"
@@ -32,6 +33,7 @@
 #include "ccov/covering/solver.hpp"
 #include "ccov/engine/batch.hpp"
 #include "ccov/engine/engine.hpp"
+#include "ccov/engine/net.hpp"
 #include "ccov/engine/serve.hpp"
 #include "ccov/engine/store.hpp"
 #include "ccov/protection/simulator.hpp"
@@ -66,10 +68,16 @@ void print_usage(std::ostream& os) {
         "            [--format csv|json|table] [--out F] [--cache-file F]\n"
         "                                           batch sweep via the "
         "engine\n"
-        "  serve     [--jobs K] [--batch B] [--cache-file F]\n"
-        "            [--cache-capacity C] [--cache-shards S]\n"
-        "                                           JSONL requests on stdin "
-        "-> responses on stdout\n"
+        "  serve     [--listen HOST:PORT] [--jobs K] [--batch B]\n"
+        "            [--cache-file F] [--cache-capacity C] [--cache-shards "
+        "S]\n"
+        "            [--max-clients M] [--max-line BYTES]\n"
+        "                                           JSONL serve loop: stdio "
+        "by default,\n"
+        "                                           TCP with --listen "
+        "(SIGINT/SIGTERM\n"
+        "                                           shut down cleanly and "
+        "save the store)\n"
         "  cache     stats|save|load|clear --cache-file F [sweep flags]\n"
         "                                           inspect / warm / verify "
         "/ reset a snapshot\n"
@@ -303,6 +311,8 @@ int cmd_serve(const ccov::util::Cli& cli) {
   sopts.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
   sopts.batch = static_cast<std::size_t>(cli.get_int("batch", 1));
   sopts.cache_file = cli.get("cache-file", "");
+  sopts.max_line_bytes = static_cast<std::size_t>(
+      cli.get_int("max-line", static_cast<std::int64_t>(1) << 20));
 
   ccov::engine::EngineOptions eopts;
   eopts.cache_capacity = std::max(
@@ -318,7 +328,33 @@ int cmd_serve(const ccov::util::Cli& cli) {
     std::cerr << "serve: warm-started " << loaded << " entries from "
               << sopts.cache_file << "\n";
   }
-  const int rc = ccov::engine::serve_loop(std::cin, std::cout, engine, sopts);
+
+  int rc = 0;
+  const std::string listen = cli.get("listen", "");
+  if (listen.empty()) {
+    // Unsynchronized streams let the stdio transport's read_some drain
+    // whole buffered lines via readsome() instead of one byte per call
+    // (std::cin's C-stdio sync buffer always reports in_avail() == 0).
+    // Untie cin from cout: the session's reader thread must not flush
+    // cout (via the istream sentry) while the pipeline worker writes
+    // responses to it.
+    std::ios::sync_with_stdio(false);
+    std::cin.tie(nullptr);
+    rc = ccov::engine::serve_loop(std::cin, std::cout, engine, sopts);
+  } else {
+    ccov::engine::net::ServerOptions nopts;
+    std::string err;
+    if (!ccov::engine::net::parse_endpoint(listen, &nopts.host, &nopts.port,
+                                           &err))
+      throw std::invalid_argument("--listen '" + listen + "': " + err);
+    nopts.max_clients =
+        static_cast<std::size_t>(cli.get_int("max-clients", 64));
+    ccov::engine::net::ServeServer server(engine, sopts, nopts);
+    ccov::engine::net::install_signal_shutdown(server);
+    std::cerr << "serve: listening on " << server.host() << ":"
+              << server.port() << "\n";
+    rc = server.run();
+  }
   if (!sopts.cache_file.empty()) {
     ccov::engine::save_snapshot_file(sopts.cache_file, engine.cache());
     std::cerr << "serve: saved " << engine.cache().size() << " entries to "
