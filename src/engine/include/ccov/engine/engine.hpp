@@ -12,6 +12,7 @@
 #include <mutex>
 
 #include "ccov/engine/cache.hpp"
+#include "ccov/engine/metrics.hpp"
 #include "ccov/engine/registry.hpp"
 #include "ccov/engine/request.hpp"
 #include "ccov/util/thread_pool.hpp"
@@ -49,10 +50,19 @@ class Engine {
   CoverCache& cache() { return cache_; }
   const CoverCache& cache() const { return cache_; }
 
+  /// The engine's metrics registry: cache hit/miss/eviction and
+  /// size/capacity series are wired as scrape-time callbacks in the
+  /// constructor; the serve sessions and the solver path update owned
+  /// counters. Rendered by `GET /metrics` and the `metrics` serve verb.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   EngineOptions opts_;
   AlgorithmRegistry& registry_;
   CoverCache cache_;
+  MetricsRegistry metrics_;
+  Counter* solver_nodes_ = nullptr;  ///< cumulative search nodes
   std::once_flag pool_once_;
   std::unique_ptr<util::ThreadPool> pool_;
 };

@@ -1,21 +1,32 @@
 #pragma once
 /// \file net.hpp
-/// TCP front end for the serve protocol (POSIX sockets). A ServeServer
-/// accepts N concurrent clients, each speaking the exact JSONL protocol
-/// of serve.hpp over its own connection, all sharing the one Engine —
-/// and therefore one warm CoverCache and one thread pool. Shutdown is
-/// cooperative through a self-pipe: shutdown() (or a signal handler via
-/// wake_fd()) writes one byte, the accept loop and every blocked
-/// per-connection read wake up, sessions flush their pending responses
-/// and exit, and run() returns so the caller can still save the store.
+/// TCP plumbing for the serve front ends (POSIX sockets). The pieces
+/// layer cleanly:
 ///
-/// SIGPIPE is ignored for the whole process while a ServeServer exists
+///  - TcpListener / SocketStream: a bound listening socket and a
+///    ServeStream over one accepted connection, both non-blocking with
+///    all waiting in poll;
+///  - ConnectionServer: the transport-agnostic accept loop — self-pipe
+///    shutdown, thread-per-connection, max-clients bound, periodic
+///    reaping — parameterized over what to do with an accepted socket;
+///  - ServeServer: ConnectionServer + the JSONL serve protocol, one
+///    serve_session per connection (http.hpp builds the HTTP front end
+///    on the same ConnectionServer).
+///
+/// Shutdown is cooperative through a self-pipe: shutdown() (or a signal
+/// handler via wake_fd()) writes one byte, the accept loop and every
+/// blocked per-connection read wake up, sessions flush their pending
+/// responses and exit, and run() returns so the caller can still save
+/// the store.
+///
+/// SIGPIPE is ignored for the whole process while a server exists
 /// (writes use MSG_NOSIGNAL as well): one client disconnecting
 /// mid-response tears down only that connection, never the server.
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <string>
@@ -34,7 +45,7 @@ bool parse_endpoint(const std::string& spec, std::string* host,
 
 /// Ignore SIGPIPE process-wide so a write to a half-closed socket
 /// returns EPIPE instead of killing the process. Idempotent; called by
-/// ServeServer's constructor.
+/// ConnectionServer's constructor.
 void ignore_sigpipe();
 
 /// A bound, listening TCP socket. Throws std::runtime_error when the
@@ -100,35 +111,31 @@ class SocketStream final : public ServeStream {
   int shutdown_grace_ms_ = -1;
 };
 
-struct ServerOptions {
-  std::string host = "127.0.0.1";
-  std::uint16_t port = 0;  ///< 0 = ephemeral; see ServeServer::port()
-  /// Concurrent connections beyond this are answered with one in-band
-  /// {"ok":false,...} line and closed immediately.
-  std::size_t max_clients = 64;
-  int backlog = 64;
-};
-
-/// `ccov serve --listen`: a thread-per-connection TCP server in front of
-/// serve_session. Every connection shares `engine` (one cache, one
-/// pool); each runs the full JSONL protocol independently with its own
-/// per-connection line ids starting at 0.
-class ServeServer {
+/// The generic accept loop every TCP-based front end shares: binds and
+/// listens in the constructor (throws std::runtime_error on failure,
+/// so port() is valid before run()), then accepts clients and runs one
+/// callback per connection on its own thread. Connections beyond
+/// `max_clients` get the reject callback on the accepting thread and
+/// are closed. Both callbacks receive a connected socket fd (owned by
+/// the callback — wrap it in a SocketStream) and the read end of the
+/// shutdown self-pipe to pass as that stream's wake fd.
+class ConnectionServer {
  public:
-  /// Binds and listens immediately (throws std::runtime_error on
-  /// failure) so port() is valid before run() is called.
-  ServeServer(Engine& engine, ServeOptions serve_opts, ServerOptions opts);
-  ~ServeServer();
+  using SessionFn = std::function<void(int client_fd, int wake_fd)>;
 
-  ServeServer(const ServeServer&) = delete;
-  ServeServer& operator=(const ServeServer&) = delete;
+  ConnectionServer(const std::string& host, std::uint16_t port, int backlog,
+                   std::size_t max_clients);
+  ~ConnectionServer();
+
+  ConnectionServer(const ConnectionServer&) = delete;
+  ConnectionServer& operator=(const ConnectionServer&) = delete;
 
   std::uint16_t port() const { return listener_.port(); }
-  const std::string& host() const { return opts_.host; }
 
   /// Accept clients until shutdown() is called; joins every connection
-  /// thread before returning. Returns 0 on a clean shutdown.
-  int run();
+  /// thread before returning. Returns 0 on a clean shutdown, 1 when the
+  /// listener broke.
+  int run(SessionFn session, SessionFn reject);
 
   /// Request shutdown from any thread. Safe to call more than once.
   void shutdown();
@@ -145,20 +152,54 @@ class ServeServer {
 
   void reap_finished(bool join_all);
 
-  Engine& engine_;
-  ServeOptions serve_opts_;
-  ServerOptions opts_;
   TcpListener listener_;
+  std::size_t max_clients_;
   int wake_rd_ = -1;
   int wake_wr_ = -1;
   std::mutex conns_mu_;
   std::list<Connection> conns_;
 };
 
-/// Install SIGINT/SIGTERM handlers that trigger `server.shutdown()`
-/// through the self-pipe (async-signal-safe). The handlers outlive the
-/// server object only as no-ops; intended for the CLI process, which
-/// serves exactly one server per run.
-void install_signal_shutdown(ServeServer& server);
+/// `ccov serve --listen`: a thread-per-connection TCP server in front of
+/// serve_session. Every connection shares `engine` (one cache, one
+/// pool); each runs the full JSONL protocol independently with its own
+/// per-connection line ids starting at 0. Connections beyond
+/// config.max_clients are answered with one in-band {"ok":false,...}
+/// line and closed.
+class ServeServer {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on
+  /// failure) so port() is valid before run() is called.
+  ServeServer(Engine& engine, ServeConfig config);
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  std::uint16_t port() const { return server_.port(); }
+  const std::string& host() const { return config_.host; }
+
+  /// Accept clients until shutdown() is called; joins every connection
+  /// thread before returning. Returns 0 on a clean shutdown.
+  int run();
+
+  /// Request shutdown from any thread. Safe to call more than once.
+  void shutdown() { server_.shutdown(); }
+
+  /// See ConnectionServer::wake_fd().
+  int wake_fd() const { return server_.wake_fd(); }
+
+ private:
+  Engine& engine_;
+  ServeConfig config_;
+  ConnectionServer server_;
+};
+
+/// Install SIGINT/SIGTERM handlers that write one byte to `wake_fd`
+/// (async-signal-safe) — pass ServeServer::wake_fd() or
+/// HttpServer::wake_fd(). The handlers outlive the server object only
+/// as no-ops; intended for the CLI process, which serves exactly one
+/// server per run (ConnectionServer's destructor disarms the handlers
+/// before closing the fd).
+void install_signal_shutdown(int wake_fd);
 
 }  // namespace ccov::engine::net

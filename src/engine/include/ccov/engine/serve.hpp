@@ -3,21 +3,29 @@
 /// The `ccov serve` protocol: JSONL requests in, JSONL responses out,
 /// one output line per input line, in input order. Compute requests are
 /// flat JSON objects ({"algo":"solve","n":8,...}); control verbs are
-/// {"op":"stats"|"save"|"clear"}. See src/engine/README.md for the full
+/// {"op":"stats"|"save"|"clear"|"metrics"} and are dispatched through a
+/// ServeVerbRegistry (op string -> handler), the same self-registration
+/// shape as AlgorithmRegistry. See src/engine/README.md for the full
 /// protocol. The parser and renderers are exposed so tests can drive
 /// them without a process boundary.
 ///
 /// The protocol loop itself is parameterized over a transport: a
 /// ServeStream is any source/sink of newline-framed bytes —
 /// serve_loop wires one to stdin/stdout, net.hpp's SocketStream wires
-/// one to a TCP connection, and every transport shares the exact same
-/// serve_session, so socket responses are byte-identical to stdio
-/// responses for the same request stream.
+/// one to a TCP connection, and http.hpp frames one inside an HTTP
+/// request/response pair. Every transport shares the exact same
+/// serve_session, so socket and HTTP responses are byte-identical to
+/// stdio responses for the same request stream. All front ends consume
+/// one ServeConfig, parsed once in the CLI.
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "ccov/engine/engine.hpp"
 #include "ccov/engine/request.hpp"
@@ -47,30 +55,11 @@ class ServeStream {
   virtual bool flush() { return true; }
 };
 
-/// One parsed input line: either a cover request or a control verb.
-struct ServeCommand {
-  enum class Kind { kRequest, kStats, kSave, kClear };
-  Kind kind = Kind::kRequest;
-  CoverRequest req;  ///< populated when kind == kRequest
-};
-
-/// Parse one JSONL line. Returns false (and sets *error) on malformed
-/// JSON, unknown keys, or out-of-domain values; never throws.
-bool parse_serve_line(const std::string& line, ServeCommand* cmd,
-                      std::string* error);
-
-/// Render a response as one JSON line (no trailing newline). Contains
-/// only reproducible fields plus cache_hit — never timing — so streams
-/// are byte-identical across --jobs values.
-std::string serve_response_line(std::uint64_t id, const CoverResponse& resp);
-
-/// Render a protocol-level failure (parse error, bad control verb).
-std::string serve_error_line(std::uint64_t id, const std::string& error);
-
-/// Render the cache statistics for the `stats` control verb.
-std::string serve_stats_line(std::uint64_t id, const CoverCache& cache);
-
-struct ServeOptions {
+/// The one configuration every serve front end consumes — stdio,
+/// `--listen` (TCP) and `--http` alike. The CLI parses its serve flags
+/// into exactly one of these; the transports read the fields they need.
+struct ServeConfig {
+  // --- session (every transport) -----------------------------------------
   /// Worker threads per flushed batch (BatchRunner semantics: 0 =
   /// hardware concurrency, 1 = inline).
   std::size_t jobs = 1;
@@ -85,7 +74,100 @@ struct ServeOptions {
   /// is answered in-band with ok:false and discarded as it streams in —
   /// the session never buffers more than this much of one line.
   std::size_t max_line_bytes = 1 << 20;
+
+  // --- listener (TCP and HTTP front ends) --------------------------------
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; the server reports the pick
+  /// Concurrent connections beyond this are refused with one in-band
+  /// error (JSONL line on TCP, 503 on HTTP) and closed immediately.
+  std::size_t max_clients = 64;
+  int backlog = 64;
+
+  // --- HTTP front end ----------------------------------------------------
+  /// Longest accepted request head (request line + headers).
+  std::size_t max_header_bytes = 64 << 10;
+  /// Largest accepted Content-Length for POST /v1/batch; bigger bodies
+  /// are refused with 413 before any byte of the body is read.
+  std::size_t max_body_bytes = 64u << 20;
 };
+
+// ---------------------------------------------------------------------------
+// Control-verb registry
+// ---------------------------------------------------------------------------
+
+/// Everything a control-verb handler may touch. Handlers run on the
+/// session's pipeline worker *after* the preceding requests flushed, so
+/// whatever they observe (cache stats, metrics) reflects exactly the
+/// requests that preceded them in the stream.
+struct ServeVerbContext {
+  std::uint64_t id = 0;  ///< response id of the verb's input line
+  Engine& engine;
+  const ServeConfig& config;
+};
+
+/// A named control verb: {"op":"<name>"} -> one rendered response line
+/// (no trailing newline). Handlers must not throw.
+struct ServeVerb {
+  std::string name;
+  std::string description;
+  std::function<std::string(const ServeVerbContext&)> run;
+};
+
+/// Thread-safe name -> ServeVerb map, mirroring AlgorithmRegistry:
+/// register once (from any TU), dispatch everywhere. Verbs are never
+/// removed, so find() results stay valid for the registry's lifetime.
+class ServeVerbRegistry {
+ public:
+  /// Throws std::invalid_argument on an empty/duplicate name or a
+  /// missing run function.
+  void add(ServeVerb verb);
+
+  /// nullptr when the name is unknown.
+  const ServeVerb* find(const std::string& name) const;
+
+  /// Registered names in sorted order — also the list parse errors cite.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+
+  /// The process-wide registry with the built-in verbs registered
+  /// (clear, metrics, save, stats).
+  static ServeVerbRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ServeVerb> verbs_;
+};
+
+/// Register the built-in control verbs into `reg`. Idempotent per
+/// registry; called automatically by ServeVerbRegistry::global().
+void register_builtin_verbs(ServeVerbRegistry& reg);
+
+/// One parsed input line: either a cover request (verb == nullptr) or a
+/// resolved control verb.
+struct ServeCommand {
+  const ServeVerb* verb = nullptr;
+  CoverRequest req;  ///< populated when is_request()
+  bool is_request() const { return verb == nullptr; }
+};
+
+/// Parse one JSONL line against the global verb registry. Returns false
+/// (and sets *error) on malformed JSON, unknown keys, out-of-domain
+/// values, or an unknown op (the error lists the valid ops); never
+/// throws.
+bool parse_serve_line(const std::string& line, ServeCommand* cmd,
+                      std::string* error);
+
+/// Render a response as one JSON line (no trailing newline). Contains
+/// only reproducible fields plus cache_hit — never timing — so streams
+/// are byte-identical across --jobs values.
+std::string serve_response_line(std::uint64_t id, const CoverResponse& resp);
+
+/// Render a protocol-level failure (parse error, bad control verb).
+std::string serve_error_line(std::uint64_t id, const std::string& error);
+
+/// Render the cache statistics for the `stats` control verb.
+std::string serve_stats_line(std::uint64_t id, const CoverCache& cache);
 
 /// Run the serve protocol over an arbitrary transport until
 /// end-of-stream. Emits exactly one response line per input line, in
@@ -94,12 +176,13 @@ struct ServeOptions {
 /// pipeline worker solves and writes the previous one, so reading and
 /// solving overlap for every transport. Returns 0; protocol-level
 /// errors are reported in-band as {"ok":false,...} lines, and a dead
-/// peer ends the session without raising.
-int serve_session(ServeStream& io, Engine& engine, const ServeOptions& opts);
+/// peer ends the session without raising. Session, request, error and
+/// pipeline-depth counts feed engine.metrics().
+int serve_session(ServeStream& io, Engine& engine, const ServeConfig& config);
 
 /// serve_session over an istream/ostream pair — the classic stdio
 /// `ccov serve` loop the CLI wires to std::cin/std::cout.
 int serve_loop(std::istream& in, std::ostream& out, Engine& engine,
-               const ServeOptions& opts);
+               const ServeConfig& config);
 
 }  // namespace ccov::engine

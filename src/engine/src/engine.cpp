@@ -11,7 +11,46 @@ namespace ccov::engine {
 Engine::Engine(EngineOptions opts, AlgorithmRegistry& registry)
     : opts_(opts),
       registry_(registry),
-      cache_(opts.cache_capacity, opts.cache_shards) {}
+      cache_(opts.cache_capacity, opts.cache_shards) {
+  // Cache series read the cache's own atomics at scrape time — one
+  // source of truth, nothing counted twice. The cache outlives the
+  // registry's callers because both are members of this engine.
+  metrics_.counter_fn("ccov_cache_hits_total",
+                      "CoverCache lookups served from the cache",
+                      [this] { return cache_.stats().hits; });
+  metrics_.counter_fn("ccov_cache_misses_total",
+                      "CoverCache lookups that required a computation",
+                      [this] { return cache_.stats().misses; });
+  metrics_.counter_fn("ccov_cache_evictions_total",
+                      "CoverCache entries evicted by the per-shard LRU",
+                      [this] { return cache_.stats().evictions; });
+  metrics_.gauge_fn("ccov_cache_entries", "CoverCache entries currently stored",
+                    [this] { return static_cast<std::int64_t>(cache_.size()); });
+  metrics_.gauge_fn("ccov_cache_capacity",
+                    "CoverCache total capacity across shards", [this] {
+                      return static_cast<std::int64_t>(cache_.capacity());
+                    });
+  // Node throughput: cumulative branch nodes searched by every request
+  // that ran an algorithm (cache hits search nothing). rate() of this
+  // series is the engine's solve-node throughput.
+  solver_nodes_ = &metrics_.counter(
+      "ccov_solver_nodes_total",
+      "Cumulative branch-and-bound nodes searched across all requests");
+  // Pre-register the serve-session series so a scrape before the first
+  // connection still exposes the full schema at zero.
+  metrics_.counter("ccov_serve_sessions_total",
+                   "Serve sessions started (stdio, TCP and HTTP batches)");
+  metrics_.gauge("ccov_serve_sessions_active",
+                 "Serve sessions currently running");
+  metrics_.counter("ccov_serve_requests_total",
+                   "Compute requests accepted by serve sessions");
+  metrics_.counter("ccov_serve_verbs_total",
+                   "Control verbs executed by serve sessions");
+  metrics_.counter("ccov_serve_errors_total",
+                   "In-band protocol errors answered by serve sessions");
+  metrics_.gauge("ccov_serve_pipeline_depth",
+                 "Flush jobs currently queued or running across sessions");
+}
 
 util::ThreadPool& Engine::pool() {
   std::call_once(pool_once_, [this] {
@@ -50,6 +89,7 @@ CoverResponse Engine::run(const CoverRequest& req) {
     resp.exhausted = out.exhausted;
     resp.nodes = out.nodes;
     resp.cover = std::move(out.cover);
+    if (out.nodes) solver_nodes_->add(out.nodes);
   } catch (const std::exception& e) {
     resp.error = e.what();
     resp.elapsed_ms = timer.millis();

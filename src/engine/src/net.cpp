@@ -36,23 +36,26 @@ TcpListener::TcpListener(const std::string&, std::uint16_t, int) {
   throw std::runtime_error("net: not supported on this platform");
 }
 TcpListener::~TcpListener() = default;
-int TcpListener::accept_connection(int) { return -1; }
+int TcpListener::accept_connection(int, int) { return kFailed; }
 void TcpListener::close() {}
 SocketStream::SocketStream(int fd, int wake_fd) : fd_(fd), wake_fd_(wake_fd) {}
 SocketStream::~SocketStream() = default;
 std::ptrdiff_t SocketStream::read_some(char*, std::size_t) { return -1; }
 bool SocketStream::write_all(const char*, std::size_t) { return false; }
-ServeServer::ServeServer(Engine& engine, ServeOptions serve_opts,
-                         ServerOptions opts)
+ConnectionServer::ConnectionServer(const std::string& host, std::uint16_t port,
+                                   int backlog, std::size_t max_clients)
+    : listener_(host, port, backlog), max_clients_(max_clients) {}
+ConnectionServer::~ConnectionServer() = default;
+int ConnectionServer::run(SessionFn, SessionFn) { return 1; }
+void ConnectionServer::shutdown() {}
+void ConnectionServer::reap_finished(bool) {}
+ServeServer::ServeServer(Engine& engine, ServeConfig config)
     : engine_(engine),
-      serve_opts_(std::move(serve_opts)),
-      opts_(std::move(opts)),
-      listener_(opts_.host, opts_.port, opts_.backlog) {}
-ServeServer::~ServeServer() = default;
+      config_(std::move(config)),
+      server_(config_.host, config_.port, config_.backlog,
+              config_.max_clients) {}
 int ServeServer::run() { return 1; }
-void ServeServer::shutdown() {}
-void ServeServer::reap_finished(bool) {}
-void install_signal_shutdown(ServeServer&) {}
+void install_signal_shutdown(int) {}
 #else
 
 namespace {
@@ -304,7 +307,7 @@ bool SocketStream::write_all(const char* data, std::size_t n) {
 }
 
 // ---------------------------------------------------------------------------
-// ServeServer
+// ConnectionServer
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -324,12 +327,9 @@ void on_shutdown_signal(int) {
 
 }  // namespace
 
-ServeServer::ServeServer(Engine& engine, ServeOptions serve_opts,
-                         ServerOptions opts)
-    : engine_(engine),
-      serve_opts_(std::move(serve_opts)),
-      opts_(std::move(opts)),
-      listener_(opts_.host, opts_.port, opts_.backlog) {
+ConnectionServer::ConnectionServer(const std::string& host, std::uint16_t port,
+                                   int backlog, std::size_t max_clients)
+    : listener_(host, port, backlog), max_clients_(max_clients) {
   ignore_sigpipe();
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) throw_errno("pipe");
@@ -337,7 +337,7 @@ ServeServer::ServeServer(Engine& engine, ServeOptions serve_opts,
   wake_wr_ = pipe_fds[1];
 }
 
-ServeServer::~ServeServer() {
+ConnectionServer::~ConnectionServer() {
   shutdown();
   reap_finished(/*join_all=*/true);
   // Disarm any installed signal handler before the fd goes away.
@@ -348,14 +348,14 @@ ServeServer::~ServeServer() {
   if (wake_wr_ >= 0) ::close(wake_wr_);
 }
 
-void ServeServer::shutdown() {
+void ConnectionServer::shutdown() {
   if (wake_wr_ >= 0) {
     const char byte = 's';
     [[maybe_unused]] const ssize_t rc = ::write(wake_wr_, &byte, 1);
   }
 }
 
-void ServeServer::reap_finished(bool join_all) {
+void ConnectionServer::reap_finished(bool join_all) {
   std::lock_guard<std::mutex> lk(conns_mu_);
   for (auto it = conns_.begin(); it != conns_.end();) {
     if (join_all || it->done.load(std::memory_order_acquire)) {
@@ -367,7 +367,7 @@ void ServeServer::reap_finished(bool join_all) {
   }
 }
 
-int ServeServer::run() {
+int ConnectionServer::run(SessionFn session, SessionFn reject) {
   int rc = 0;
   for (;;) {
     // The 1 s tick bounds how long an idle server keeps finished
@@ -392,19 +392,17 @@ int ServeServer::run() {
       std::lock_guard<std::mutex> lk(conns_mu_);
       active = conns_.size();
     }
-    if (active >= opts_.max_clients) {
-      SocketStream stream(client, wake_rd_);
-      const std::string line =
-          serve_error_line(0, "server busy: too many clients") + "\n";
-      stream.write_all(line.data(), line.size());
-      continue;  // stream dtor closes the socket
+    if (active >= max_clients_) {
+      // Rejected inline on the accepting thread; the callback owns the
+      // fd and must close it (a SocketStream destructor does).
+      reject(client, wake_rd_);
+      continue;
     }
     std::lock_guard<std::mutex> lk(conns_mu_);
     conns_.emplace_back();
     Connection& conn = conns_.back();
-    conn.thread = std::thread([this, client, &conn] {
-      SocketStream stream(client, wake_rd_);
-      serve_session(stream, engine_, serve_opts_);
+    conn.thread = std::thread([this, client, &conn, &session] {
+      session(client, wake_rd_);
       conn.done.store(true, std::memory_order_release);
     });
   }
@@ -418,8 +416,32 @@ int ServeServer::run() {
   return rc;
 }
 
-void install_signal_shutdown(ServeServer& server) {
-  g_shutdown_fd.store(server.wake_fd(), std::memory_order_relaxed);
+// ---------------------------------------------------------------------------
+// ServeServer
+// ---------------------------------------------------------------------------
+
+ServeServer::ServeServer(Engine& engine, ServeConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      server_(config_.host, config_.port, config_.backlog,
+              config_.max_clients) {}
+
+int ServeServer::run() {
+  return server_.run(
+      [this](int client, int wake_fd) {
+        SocketStream stream(client, wake_fd);
+        serve_session(stream, engine_, config_);
+      },
+      [](int client, int wake_fd) {
+        SocketStream stream(client, wake_fd);
+        const std::string line =
+            serve_error_line(0, "server busy: too many clients") + "\n";
+        stream.write_all(line.data(), line.size());
+      });
+}
+
+void install_signal_shutdown(int wake_fd) {
+  g_shutdown_fd.store(wake_fd, std::memory_order_relaxed);
   struct sigaction sa{};
   sa.sa_handler = on_shutdown_signal;
   sigemptyset(&sa.sa_mask);

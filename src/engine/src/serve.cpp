@@ -1,267 +1,37 @@
 #include "ccov/engine/serve.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
+#include <atomic>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 #include <functional>
 #include <istream>
 #include <limits>
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "ccov/engine/batch.hpp"
 #include "ccov/engine/store.hpp"
+#include "ccov/util/json.hpp"
 #include "ccov/util/pipeline.hpp"
 
 namespace ccov::engine {
 
+namespace json = ccov::util::json;
+
 namespace {
 
 // ---------------------------------------------------------------------------
-// A minimal JSON reader: objects, arrays, strings (with escapes), integer
-// numbers, booleans and null — exactly the subset the serve protocol
-// uses. Errors are reported by message, never by exception.
+// Request extraction (the JSON reader itself lives in ccov/util/json.hpp,
+// shared with the HTTP layer)
 // ---------------------------------------------------------------------------
 
-struct JValue {
-  enum class Type { kNull, kBool, kInt, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  std::int64_t integer = 0;
-  std::string string;
-  std::vector<JValue> array;
-  std::vector<std::pair<std::string, JValue>> object;
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text)
-      : p_(text.data()), end_(p_ + text.size()) {}
-
-  bool parse(JValue* out, std::string* error) {
-    skip_ws();
-    if (!value(out, error)) return false;
-    skip_ws();
-    if (p_ != end_) {
-      *error = "trailing characters after JSON value";
-      return false;
-    }
-    return true;
-  }
-
- private:
-  void skip_ws() {
-    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
-  }
-
-  bool literal(const char* word, std::string* error) {
-    for (const char* w = word; *w; ++w, ++p_) {
-      if (p_ == end_ || *p_ != *w) {
-        *error = std::string("expected '") + word + "'";
-        return false;
-      }
-    }
-    return true;
-  }
-
-  bool value(JValue* out, std::string* error) {
-    if (p_ == end_) {
-      *error = "unexpected end of input";
-      return false;
-    }
-    switch (*p_) {
-      case '{':
-        return object(out, error);
-      case '[':
-        return array(out, error);
-      case '"':
-        out->type = JValue::Type::kString;
-        return string(&out->string, error);
-      case 't':
-        out->type = JValue::Type::kBool;
-        out->boolean = true;
-        return literal("true", error);
-      case 'f':
-        out->type = JValue::Type::kBool;
-        out->boolean = false;
-        return literal("false", error);
-      case 'n':
-        out->type = JValue::Type::kNull;
-        return literal("null", error);
-      default:
-        return number(out, error);
-    }
-  }
-
-  bool object(JValue* out, std::string* error) {
-    out->type = JValue::Type::kObject;
-    ++p_;  // '{'
-    skip_ws();
-    if (p_ != end_ && *p_ == '}') {
-      ++p_;
-      return true;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key;
-      if (p_ == end_ || *p_ != '"' || !string(&key, error)) {
-        if (error->empty()) *error = "expected object key";
-        return false;
-      }
-      skip_ws();
-      if (p_ == end_ || *p_ != ':') {
-        *error = "expected ':' after key '" + key + "'";
-        return false;
-      }
-      ++p_;
-      skip_ws();
-      JValue val;
-      if (!value(&val, error)) return false;
-      out->object.emplace_back(std::move(key), std::move(val));
-      skip_ws();
-      if (p_ != end_ && *p_ == ',') {
-        ++p_;
-        continue;
-      }
-      if (p_ != end_ && *p_ == '}') {
-        ++p_;
-        return true;
-      }
-      *error = "expected ',' or '}' in object";
-      return false;
-    }
-  }
-
-  bool array(JValue* out, std::string* error) {
-    out->type = JValue::Type::kArray;
-    ++p_;  // '['
-    skip_ws();
-    if (p_ != end_ && *p_ == ']') {
-      ++p_;
-      return true;
-    }
-    for (;;) {
-      skip_ws();
-      JValue val;
-      if (!value(&val, error)) return false;
-      out->array.push_back(std::move(val));
-      skip_ws();
-      if (p_ != end_ && *p_ == ',') {
-        ++p_;
-        continue;
-      }
-      if (p_ != end_ && *p_ == ']') {
-        ++p_;
-        return true;
-      }
-      *error = "expected ',' or ']' in array";
-      return false;
-    }
-  }
-
-  bool string(std::string* out, std::string* error) {
-    ++p_;  // '"'
-    out->clear();
-    while (p_ != end_ && *p_ != '"') {
-      char c = *p_++;
-      if (c == '\\') {
-        if (p_ == end_) break;
-        const char esc = *p_++;
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'b': c = '\b'; break;
-          case 'f': c = '\f'; break;
-          case 'n': c = '\n'; break;
-          case 'r': c = '\r'; break;
-          case 't': c = '\t'; break;
-          default:
-            *error = "unsupported escape sequence";
-            return false;
-        }
-      }
-      out->push_back(c);
-    }
-    if (p_ == end_) {
-      *error = "unterminated string";
-      return false;
-    }
-    ++p_;  // closing '"'
-    return true;
-  }
-
-  bool number(JValue* out, std::string* error) {
-    const char* start = p_;
-    if (p_ != end_ && *p_ == '-') ++p_;
-    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
-    if (p_ == start || (*start == '-' && p_ == start + 1)) {
-      *error = "invalid number";
-      return false;
-    }
-    if (p_ != end_ && (*p_ == '.' || *p_ == 'e' || *p_ == 'E')) {
-      *error = "non-integer numbers are not part of the serve protocol";
-      return false;
-    }
-    errno = 0;
-    out->type = JValue::Type::kInt;
-    out->integer = std::strtoll(std::string(start, p_).c_str(), nullptr, 10);
-    if (errno == ERANGE) {
-      *error = "integer out of range";
-      return false;
-    }
-    return true;
-  }
-
-  const char* p_;
-  const char* end_;
-};
-
-// ---------------------------------------------------------------------------
-// JSON writing
-// ---------------------------------------------------------------------------
-
-void append_escaped(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (const char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\r': *out += "\\r"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-void append_bool(std::string* out, const char* key, bool v) {
-  *out += ",\"";
-  *out += key;
-  *out += v ? "\":true" : "\":false";
-}
-
-// ---------------------------------------------------------------------------
-// Request extraction
-// ---------------------------------------------------------------------------
-
-bool to_uint(const JValue& v, std::uint64_t max, std::uint64_t* out,
+bool to_uint(const json::Value& v, std::uint64_t max, std::uint64_t* out,
              std::string* error, const std::string& key) {
-  if (v.type != JValue::Type::kInt || v.integer < 0 ||
+  if (v.type != json::Value::Type::kInt || v.integer < 0 ||
       static_cast<std::uint64_t>(v.integer) > max) {
     *error = "field '" + key + "' must be a non-negative integer";
     return false;
@@ -270,12 +40,13 @@ bool to_uint(const JValue& v, std::uint64_t max, std::uint64_t* out,
   return true;
 }
 
-bool extract_request(const JValue& obj, CoverRequest* req, std::string* error) {
+bool extract_request(const json::Value& obj, CoverRequest* req,
+                     std::string* error) {
   bool have_algo = false, have_n = false;
   for (const auto& [key, val] : obj.object) {
     std::uint64_t u = 0;
     if (key == "algo" || key == "algorithm") {
-      if (val.type != JValue::Type::kString) {
+      if (val.type != json::Value::Type::kString) {
         *error = "field 'algo' must be a string";
         return false;
       }
@@ -311,18 +82,19 @@ bool extract_request(const JValue& obj, CoverRequest* req, std::string* error) {
         return false;
       req->solver.max_cycle_len = static_cast<std::uint32_t>(u);
     } else if (key == "validate") {
-      if (val.type != JValue::Type::kBool) {
+      if (val.type != json::Value::Type::kBool) {
         *error = "field 'validate' must be a boolean";
         return false;
       }
       req->validate = val.boolean;
     } else if (key == "demand") {
-      if (val.type != JValue::Type::kArray) {
+      if (val.type != json::Value::Type::kArray) {
         *error = "field 'demand' must be an array of [u,v] pairs";
         return false;
       }
-      for (const JValue& pair : val.array) {
-        if (pair.type != JValue::Type::kArray || pair.array.size() != 2) {
+      for (const json::Value& pair : val.array) {
+        if (pair.type != json::Value::Type::kArray ||
+            pair.array.size() != 2) {
           *error = "field 'demand' must be an array of [u,v] pairs";
           return false;
         }
@@ -353,19 +125,118 @@ bool extract_request(const JValue& obj, CoverRequest* req, std::string* error) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Control-verb registry
+// ---------------------------------------------------------------------------
+
+void ServeVerbRegistry::add(ServeVerb verb) {
+  if (verb.name.empty())
+    throw std::invalid_argument("serve verb name must not be empty");
+  if (!verb.run)
+    throw std::invalid_argument("serve verb '" + verb.name +
+                                "' has no run function");
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!verbs_.emplace(verb.name, std::move(verb)).second)
+    throw std::invalid_argument("duplicate serve verb '" + verb.name + "'");
+}
+
+const ServeVerb* ServeVerbRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = verbs_.find(name);
+  return it == verbs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ServeVerbRegistry::names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(verbs_.size());
+  for (const auto& [name, verb] : verbs_) out.push_back(name);
+  return out;
+}
+
+std::size_t ServeVerbRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return verbs_.size();
+}
+
+ServeVerbRegistry& ServeVerbRegistry::global() {
+  static ServeVerbRegistry* reg = [] {
+    auto* r = new ServeVerbRegistry();
+    register_builtin_verbs(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void register_builtin_verbs(ServeVerbRegistry& reg) {
+  reg.add({"stats", "report cache size/capacity/shards and hit counters",
+           [](const ServeVerbContext& ctx) {
+             return serve_stats_line(ctx.id, ctx.engine.cache());
+           }});
+  reg.add({"save", "snapshot the store to the configured --cache-file",
+           [](const ServeVerbContext& ctx) -> std::string {
+             if (ctx.config.cache_file.empty())
+               return serve_error_line(ctx.id,
+                                       "save: no --cache-file configured");
+             try {
+               save_snapshot_file(ctx.config.cache_file, ctx.engine.cache());
+               json::JsonWriter w;
+               w.begin_object()
+                   .key("id").value(ctx.id)
+                   .key("op").value_string("save")
+                   .key("ok").value(true)
+                   .key("entries")
+                   .value(static_cast<std::uint64_t>(ctx.engine.cache().size()))
+                   .key("file").value_string(ctx.config.cache_file)
+                   .end_object();
+               return w.take();
+             } catch (const std::exception& e) {
+               return serve_error_line(ctx.id, e.what());
+             }
+           }});
+  reg.add({"clear", "empty the store",
+           [](const ServeVerbContext& ctx) {
+             ctx.engine.cache().clear();
+             json::JsonWriter w;
+             w.begin_object()
+                 .key("id").value(ctx.id)
+                 .key("op").value_string("clear")
+                 .key("ok").value(true)
+                 .end_object();
+             return w.take();
+           }});
+  reg.add({"metrics", "report every engine metric (cache, serve, solver)",
+           [](const ServeVerbContext& ctx) {
+             json::JsonWriter w;
+             w.begin_object()
+                 .key("id").value(ctx.id)
+                 .key("op").value_string("metrics")
+                 .key("ok").value(true)
+                 .key("metrics").begin_object();
+             for (const auto& [name, value] : ctx.engine.metrics().snapshot())
+               w.key(name).value(value);
+             w.end_object().end_object();
+             return w.take();
+           }});
+}
+
+// ---------------------------------------------------------------------------
+// Parsing and rendering
+// ---------------------------------------------------------------------------
+
 bool parse_serve_line(const std::string& line, ServeCommand* cmd,
                       std::string* error) {
   error->clear();
-  JValue root;
-  JsonReader reader(line);
+  json::Value root;
+  json::Reader reader(line);
   if (!reader.parse(&root, error)) return false;
-  if (root.type != JValue::Type::kObject) {
+  if (root.type != json::Value::Type::kObject) {
     *error = "each line must be a JSON object";
     return false;
   }
   for (const auto& [key, val] : root.object) {
     if (key != "op") continue;
-    if (val.type != JValue::Type::kString) {
+    if (val.type != json::Value::Type::kString) {
       *error = "field 'op' must be a string";
       return false;
     }
@@ -373,78 +244,79 @@ bool parse_serve_line(const std::string& line, ServeCommand* cmd,
       *error = "control verbs take no other fields";
       return false;
     }
-    if (val.string == "stats") {
-      cmd->kind = ServeCommand::Kind::kStats;
-    } else if (val.string == "save") {
-      cmd->kind = ServeCommand::Kind::kSave;
-    } else if (val.string == "clear") {
-      cmd->kind = ServeCommand::Kind::kClear;
-    } else {
-      *error = "unknown control verb '" + val.string + "'";
+    const ServeVerb* verb = ServeVerbRegistry::global().find(val.string);
+    if (!verb) {
+      *error = "unknown control verb '" + val.string + "' (valid: ";
+      const std::vector<std::string> names =
+          ServeVerbRegistry::global().names();
+      for (std::size_t i = 0; i < names.size(); ++i)
+        *error += (i ? ", " : "") + names[i];
+      *error += ")";
       return false;
     }
+    cmd->verb = verb;
     return true;
   }
-  cmd->kind = ServeCommand::Kind::kRequest;
+  cmd->verb = nullptr;
   cmd->req = CoverRequest{};
   return extract_request(root, &cmd->req, error);
 }
 
 std::string serve_response_line(std::uint64_t id, const CoverResponse& resp) {
-  std::string out = "{\"id\":" + std::to_string(id);
-  out += resp.ok ? ",\"ok\":true" : ",\"ok\":false";
-  out += ",\"algo\":";
-  append_escaped(&out, resp.algorithm);
-  out += ",\"n\":" + std::to_string(resp.n);
+  json::JsonWriter w;
+  w.begin_object()
+      .key("id").value(id)
+      .key("ok").value(resp.ok)
+      .key("algo").value_string(resp.algorithm)
+      .key("n").value(static_cast<std::uint64_t>(resp.n));
   if (!resp.ok) {
-    out += ",\"error\":";
-    append_escaped(&out, resp.error);
-    out += "}";
-    return out;
+    w.key("error").value_string(resp.error).end_object();
+    return w.take();
   }
-  append_bool(&out, "found", resp.found);
-  append_bool(&out, "exhausted", resp.exhausted);
-  out += ",\"nodes\":" + std::to_string(resp.nodes);
-  append_bool(&out, "cache_hit", resp.cache_hit);
-  if (resp.validated) append_bool(&out, "valid", resp.valid);
+  w.key("found").value(resp.found)
+      .key("exhausted").value(resp.exhausted)
+      .key("nodes").value(resp.nodes)
+      .key("cache_hit").value(resp.cache_hit);
+  if (resp.validated) w.key("valid").value(resp.valid);
   if (resp.found) {
-    out += ",\"cover\":[";
-    for (std::size_t i = 0; i < resp.cover.cycles.size(); ++i) {
-      if (i) out += ",";
-      out += "[";
-      const covering::Cycle& c = resp.cover.cycles[i];
-      for (std::size_t j = 0; j < c.size(); ++j) {
-        if (j) out += ",";
-        out += std::to_string(c[j]);
-      }
-      out += "]";
+    w.key("cover").begin_array();
+    for (const covering::Cycle& c : resp.cover.cycles) {
+      w.begin_array();
+      for (std::size_t j = 0; j < c.size(); ++j)
+        w.value(static_cast<std::uint64_t>(c[j]));
+      w.end_array();
     }
-    out += "]";
+    w.end_array();
   }
-  out += "}";
-  return out;
+  w.end_object();
+  return w.take();
 }
 
 std::string serve_error_line(std::uint64_t id, const std::string& error) {
-  std::string out =
-      "{\"id\":" + std::to_string(id) + ",\"ok\":false,\"error\":";
-  append_escaped(&out, error);
-  out += "}";
-  return out;
+  json::JsonWriter w;
+  w.begin_object()
+      .key("id").value(id)
+      .key("ok").value(false)
+      .key("error").value_string(error)
+      .end_object();
+  return w.take();
 }
 
 std::string serve_stats_line(std::uint64_t id, const CoverCache& cache) {
   const CoverCache::Stats s = cache.stats();
-  std::string out = "{\"id\":" + std::to_string(id) +
-                    ",\"op\":\"stats\",\"ok\":true";
-  out += ",\"size\":" + std::to_string(cache.size());
-  out += ",\"capacity\":" + std::to_string(cache.capacity());
-  out += ",\"shards\":" + std::to_string(cache.shard_count());
-  out += ",\"hits\":" + std::to_string(s.hits);
-  out += ",\"misses\":" + std::to_string(s.misses);
-  out += ",\"evictions\":" + std::to_string(s.evictions);
-  out += "}";
-  return out;
+  json::JsonWriter w;
+  w.begin_object()
+      .key("id").value(id)
+      .key("op").value_string("stats")
+      .key("ok").value(true)
+      .key("size").value(static_cast<std::uint64_t>(cache.size()))
+      .key("capacity").value(static_cast<std::uint64_t>(cache.capacity()))
+      .key("shards").value(static_cast<std::uint64_t>(cache.shard_count()))
+      .key("hits").value(s.hits)
+      .key("misses").value(s.misses)
+      .key("evictions").value(s.evictions)
+      .end_object();
+  return w.take();
 }
 
 namespace {
@@ -548,7 +420,7 @@ class IostreamServeStream final : public ServeStream {
 
 }  // namespace
 
-int serve_session(ServeStream& io, Engine& engine, const ServeOptions& opts) {
+int serve_session(ServeStream& io, Engine& engine, const ServeConfig& config) {
   struct Pending {
     std::uint64_t id = 0;
     bool is_request = false;
@@ -556,130 +428,146 @@ int serve_session(ServeStream& io, Engine& engine, const ServeOptions& opts) {
     std::string error;  ///< preformatted parse failure when !is_request
   };
 
+  // Session metrics: resolved once (one map lookup each), updated with
+  // relaxed atomics on the hot path. Every transport shares these.
+  MetricsRegistry& metrics = engine.metrics();
+  Counter& m_sessions = metrics.counter("ccov_serve_sessions_total", "");
+  Gauge& m_active = metrics.gauge("ccov_serve_sessions_active", "");
+  Counter& m_requests = metrics.counter("ccov_serve_requests_total", "");
+  Counter& m_verbs = metrics.counter("ccov_serve_verbs_total", "");
+  Counter& m_errors = metrics.counter("ccov_serve_errors_total", "");
+  Gauge& m_depth = metrics.gauge("ccov_serve_pipeline_depth", "");
+  m_sessions.add(1);
+  m_active.add(1);
+
   std::vector<Pending> pending;
   std::size_t pending_requests = 0;
-  const std::size_t batch = std::max<std::size_t>(1, opts.batch);
-  BatchRunner runner(engine, {.jobs = opts.jobs});
-  // Double-buffered flushes: one worker executes flush jobs strictly in
-  // order while this thread keeps reading and parsing the next batch.
-  // In-order execution keeps cache-state evolution — and therefore
-  // every output byte — identical to a synchronous loop; a job returns
-  // false when the peer is gone and the session tears down quietly.
-  util::OrderedPipeline pipeline(/*depth=*/2);
+  const std::size_t batch = std::max<std::size_t>(1, config.batch);
+  BatchRunner runner(engine, {.jobs = config.jobs});
+  // Pipeline-depth bookkeeping: the gauge rises on enqueue and falls when
+  // a job finishes. Jobs a dying pipeline drops never run, so the
+  // enqueued/completed counts reconcile the gauge after the pipeline is
+  // destroyed (both outlive it by declaration order).
+  std::atomic<std::size_t> jobs_completed{0};
+  std::size_t jobs_enqueued = 0;
+  {
+    // Double-buffered flushes: one worker executes flush jobs strictly in
+    // order while this thread keeps reading and parsing the next batch.
+    // In-order execution keeps cache-state evolution — and therefore
+    // every output byte — identical to a synchronous loop; a job returns
+    // false when the peer is gone and the session tears down quietly.
+    util::OrderedPipeline pipeline(/*depth=*/2);
 
-  // Solve the buffered batch and write its responses — executed on the
-  // pipeline worker, so the reader below is already parsing the next
-  // batch while this one searches. Jobs run strictly in order, which
-  // keeps cache-state evolution (and therefore every byte of output)
-  // identical to a synchronous loop.
-  const auto enqueue_flush = [&]() -> bool {
-    if (pending.empty()) return true;
-    auto work = std::make_shared<std::vector<Pending>>(std::move(pending));
-    pending.clear();
-    pending_requests = 0;
-    return pipeline.enqueue([&io, &runner, work] {
-      std::vector<CoverRequest> requests;
-      for (const Pending& p : *work)
-        if (p.is_request) requests.push_back(p.req);
-      const std::vector<CoverResponse> responses = runner.run(requests);
-      std::string out;
-      std::size_t k = 0;
-      for (const Pending& p : *work) {
-        out += p.is_request ? serve_response_line(p.id, responses[k++])
-                            : serve_error_line(p.id, p.error);
-        out += "\n";
+    const auto enqueue_job = [&](std::function<bool()> job) {
+      m_depth.add(1);
+      ++jobs_enqueued;
+      const bool queued =
+          pipeline.enqueue([&m_depth, &jobs_completed, job = std::move(job)] {
+            const bool ok = job();
+            jobs_completed.fetch_add(1, std::memory_order_relaxed);
+            m_depth.add(-1);
+            return ok;
+          });
+      if (!queued) {
+        // The pipeline refused the job (already dead): it will never run.
+        m_depth.add(-1);
+        --jobs_enqueued;
       }
-      return io.write_all(out.data(), out.size()) && io.flush();
-    });
-  };
+      return queued;
+    };
 
-  const auto enqueue_line_job = [&](std::function<std::string()> render) {
-    return pipeline.enqueue([&io, render = std::move(render)] {
-      const std::string out = render() + "\n";
-      return io.write_all(out.data(), out.size()) && io.flush();
-    });
-  };
+    // Solve the buffered batch and write its responses — executed on the
+    // pipeline worker, so the reader below is already parsing the next
+    // batch while this one searches. Jobs run strictly in order, which
+    // keeps cache-state evolution (and therefore every byte of output)
+    // identical to a synchronous loop.
+    const auto enqueue_flush = [&]() -> bool {
+      if (pending.empty()) return true;
+      auto work = std::make_shared<std::vector<Pending>>(std::move(pending));
+      pending.clear();
+      pending_requests = 0;
+      return enqueue_job([&io, &runner, work] {
+        std::vector<CoverRequest> requests;
+        for (const Pending& p : *work)
+          if (p.is_request) requests.push_back(p.req);
+        const std::vector<CoverResponse> responses = runner.run(requests);
+        std::string out;
+        std::size_t k = 0;
+        for (const Pending& p : *work) {
+          out += p.is_request ? serve_response_line(p.id, responses[k++])
+                              : serve_error_line(p.id, p.error);
+          out += "\n";
+        }
+        return io.write_all(out.data(), out.size()) && io.flush();
+      });
+    };
 
-  LineReader reader(io, opts.max_line_bytes);
-  std::uint64_t id = 0;
-  std::string line;
-  bool alive = true;
-  while (alive) {
-    const LineReader::Result r = reader.next(&line);
-    if (r == LineReader::Result::kEof) break;
-    if (r == LineReader::Result::kTooLong) {
-      pending.push_back({id++, false, {},
-                         "parse: line exceeds max line length (" +
-                             std::to_string(opts.max_line_bytes) + " bytes)"});
-      if (pending.size() >= batch) alive = enqueue_flush();
-      continue;
-    }
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    ServeCommand cmd;
-    std::string error;
-    if (!parse_serve_line(line, &cmd, &error)) {
-      pending.push_back({id++, false, {}, "parse: " + error});
-      if (pending.size() >= batch) alive = enqueue_flush();
-      continue;
-    }
-    switch (cmd.kind) {
-      case ServeCommand::Kind::kRequest:
+    const auto enqueue_line_job = [&](std::function<std::string()> render) {
+      return enqueue_job([&io, render = std::move(render)] {
+        const std::string out = render() + "\n";
+        return io.write_all(out.data(), out.size()) && io.flush();
+      });
+    };
+
+    LineReader reader(io, config.max_line_bytes);
+    std::uint64_t id = 0;
+    std::string line;
+    bool alive = true;
+    while (alive) {
+      const LineReader::Result r = reader.next(&line);
+      if (r == LineReader::Result::kEof) break;
+      if (r == LineReader::Result::kTooLong) {
+        m_errors.add(1);
+        pending.push_back(
+            {id++, false, {},
+             "parse: line exceeds max line length (" +
+                 std::to_string(config.max_line_bytes) + " bytes)"});
+        if (pending.size() >= batch) alive = enqueue_flush();
+        continue;
+      }
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      ServeCommand cmd;
+      std::string error;
+      if (!parse_serve_line(line, &cmd, &error)) {
+        m_errors.add(1);
+        pending.push_back({id++, false, {}, "parse: " + error});
+        if (pending.size() >= batch) alive = enqueue_flush();
+        continue;
+      }
+      if (cmd.is_request()) {
+        m_requests.add(1);
         pending.push_back({id++, true, std::move(cmd.req), {}});
         ++pending_requests;
         if (pending_requests >= batch) alive = enqueue_flush();
-        break;
-      case ServeCommand::Kind::kStats:
-        // Control verbs flush first, then render *inside* the pipeline
-        // job: the worker executes jobs in order, so the stats snapshot
-        // observes exactly the requests that preceded it in the stream.
-        alive = enqueue_flush() &&
-                enqueue_line_job([&engine, stats_id = id] {
-                  return serve_stats_line(stats_id, engine.cache());
-                });
-        ++id;
-        break;
-      case ServeCommand::Kind::kSave:
-        alive = enqueue_flush() &&
-                enqueue_line_job([&engine, &opts, save_id = id] {
-                  if (opts.cache_file.empty())
-                    return serve_error_line(save_id,
-                                            "save: no --cache-file configured");
-                  try {
-                    save_snapshot_file(opts.cache_file, engine.cache());
-                    std::string out = "{\"id\":" + std::to_string(save_id);
-                    out += ",\"op\":\"save\",\"ok\":true,\"entries\":";
-                    out += std::to_string(engine.cache().size());
-                    out += ",\"file\":";
-                    append_escaped(&out, opts.cache_file);
-                    out += "}";
-                    return out;
-                  } catch (const std::exception& e) {
-                    return serve_error_line(save_id, e.what());
-                  }
-                });
-        ++id;
-        break;
-      case ServeCommand::Kind::kClear:
-        alive = enqueue_flush() && enqueue_line_job([&engine, clear_id = id] {
-                  engine.cache().clear();
-                  return "{\"id\":" + std::to_string(clear_id) +
-                         ",\"op\":\"clear\",\"ok\":true}";
-                });
-        ++id;
-        break;
+        continue;
+      }
+      // Control verbs flush first, then render *inside* the pipeline
+      // job: the worker executes jobs in order, so whatever the handler
+      // observes (cache stats, metrics) reflects exactly the requests
+      // that preceded it in the stream.
+      m_verbs.add(1);
+      alive = enqueue_flush() &&
+              enqueue_line_job(
+                  [verb = cmd.verb, &engine, &config, verb_id = id] {
+                    return verb->run({verb_id, engine, config});
+                  });
+      ++id;
     }
-  }
-  if (alive) {
-    enqueue_flush();
-    pipeline.drain();
-  }
+    if (alive) {
+      enqueue_flush();
+      pipeline.drain();
+    }
+  }  // ~OrderedPipeline joins the worker: no job runs past this point.
+  m_depth.add(-static_cast<std::int64_t>(
+      jobs_enqueued - jobs_completed.load(std::memory_order_relaxed)));
+  m_active.add(-1);
   return 0;
 }
 
 int serve_loop(std::istream& in, std::ostream& out, Engine& engine,
-               const ServeOptions& opts) {
+               const ServeConfig& config) {
   IostreamServeStream io(in, out);
-  return serve_session(io, engine, opts);
+  return serve_session(io, engine, config);
 }
 
 }  // namespace ccov::engine

@@ -225,6 +225,54 @@ if ls "${TMPDIR_SMOKE}" | grep -q "\.tmp\."; then
   fail "atomic save left a temp file behind"
 fi
 
+echo "== ccov serve --http (HTTP loopback, byte-identical to stdio)"
+HTTP_ERR="${TMPDIR_SMOKE}/http.err"
+"${CCOV}" serve --http 127.0.0.1:0 2>"${HTTP_ERR}" &
+HTTP_PID=$!
+HTTP_PORT=""
+for _ in $(seq 100); do
+  HTTP_PORT=$(sed -n 's/.*http listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+    "${HTTP_ERR}" 2>/dev/null || true)
+  [ -n "${HTTP_PORT}" ] && break
+  sleep 0.1
+done
+[ -n "${HTTP_PORT}" ] || fail "http server did not report its listening port"
+
+# POST the same request file; the chunked payload bytes are whole JSONL
+# lines, so stripping CRs and keeping '^{' lines de-chunks the body.
+HTTP_OUT="${TMPDIR_SMOKE}/http.jsonl"
+HTTP_RAW="${TMPDIR_SMOKE}/http.raw"
+exec 3<>"/dev/tcp/127.0.0.1/${HTTP_PORT}" || fail "cannot connect to ${HTTP_PORT}"
+{
+  printf 'POST /v1/batch HTTP/1.1\r\n'
+  printf 'Host: 127.0.0.1\r\n'
+  printf 'Content-Length: %s\r\n' "$(wc -c < "${REQS}")"
+  printf 'Connection: close\r\n\r\n'
+  cat "${REQS}"
+} >&3
+cat <&3 > "${HTTP_RAW}"
+exec 3<&- 3>&-
+head -n 1 "${HTTP_RAW}" | grep -q "200 OK" || fail "batch POST should answer 200"
+tr -d '\r' < "${HTTP_RAW}" | grep '^{' > "${HTTP_OUT}"
+cmp -s "${SERVE1}" "${HTTP_OUT}" \
+  || fail "HTTP responses should be byte-identical to stdio serve"
+
+# Scrape /metrics and check the session above left its marks.
+METRICS_RAW="${TMPDIR_SMOKE}/metrics.raw"
+exec 3<>"/dev/tcp/127.0.0.1/${HTTP_PORT}" || fail "cannot reconnect to ${HTTP_PORT}"
+printf 'GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' >&3
+cat <&3 > "${METRICS_RAW}"
+exec 3<&- 3>&-
+grep -q "ccov_serve_sessions_total 1" "${METRICS_RAW}" \
+  || fail "/metrics should count the batch session"
+grep -q "ccov_http_requests_total" "${METRICS_RAW}" \
+  || fail "/metrics should expose the HTTP request counter"
+grep -q "ccov_cache_entries" "${METRICS_RAW}" \
+  || fail "/metrics should expose the cache gauges"
+
+kill -TERM "${HTTP_PID}"
+wait "${HTTP_PID}" || fail "http server should exit 0 on SIGTERM"
+
 echo "== ccov cache stats / load / save / clear"
 "${CCOV}" cache stats --cache-file "${SNAP}" | grep -q "entries: 1" \
   || fail "cache stats should count the stored entry"

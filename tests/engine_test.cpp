@@ -5,6 +5,7 @@
 #include <fstream>
 #include <functional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -865,7 +866,7 @@ TEST(Serve, ParsesComputeRequestsAndControlVerbs) {
       R"("max_nodes":1000,"demand":[[0,3],[1,4]]})",
       &cmd, &error))
       << error;
-  EXPECT_EQ(cmd.kind, eng::ServeCommand::Kind::kRequest);
+  EXPECT_TRUE(cmd.is_request());
   EXPECT_EQ(cmd.req.algorithm, "solve");
   EXPECT_EQ(cmd.req.n, 8u);
   EXPECT_EQ(cmd.req.budget, 10u);
@@ -878,11 +879,48 @@ TEST(Serve, ParsesComputeRequestsAndControlVerbs) {
 
   ASSERT_TRUE(eng::parse_serve_line(R"({"op":"stats"})", &cmd, &error))
       << error;
-  EXPECT_EQ(cmd.kind, eng::ServeCommand::Kind::kStats);
+  ASSERT_FALSE(cmd.is_request());
+  EXPECT_EQ(cmd.verb->name, "stats");
   ASSERT_TRUE(eng::parse_serve_line(R"({"op":"save"})", &cmd, &error));
-  EXPECT_EQ(cmd.kind, eng::ServeCommand::Kind::kSave);
+  ASSERT_FALSE(cmd.is_request());
+  EXPECT_EQ(cmd.verb->name, "save");
   ASSERT_TRUE(eng::parse_serve_line(R"({"op":"clear"})", &cmd, &error));
-  EXPECT_EQ(cmd.kind, eng::ServeCommand::Kind::kClear);
+  ASSERT_FALSE(cmd.is_request());
+  EXPECT_EQ(cmd.verb->name, "clear");
+  ASSERT_TRUE(eng::parse_serve_line(R"({"op":"metrics"})", &cmd, &error));
+  ASSERT_FALSE(cmd.is_request());
+  EXPECT_EQ(cmd.verb->name, "metrics");
+}
+
+TEST(Serve, RegistryListsBuiltinVerbsSorted) {
+  const auto& reg = eng::ServeVerbRegistry::global();
+  EXPECT_GE(reg.size(), 4u);
+  const std::vector<std::string> names = reg.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* expected : {"clear", "metrics", "save", "stats"}) {
+    const eng::ServeVerb* verb = reg.find(expected);
+    ASSERT_NE(verb, nullptr) << expected;
+    EXPECT_EQ(verb->name, expected);
+    EXPECT_FALSE(verb->description.empty());
+  }
+  EXPECT_EQ(reg.find("no-such-verb"), nullptr);
+}
+
+TEST(Serve, RegistryRejectsDuplicatesAndMalformedVerbs) {
+  eng::ServeVerbRegistry reg;
+  reg.add({"ping", "test verb",
+           [](const eng::ServeVerbContext&) { return std::string("{}"); }});
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_THROW(
+      reg.add({"ping", "again",
+               [](const eng::ServeVerbContext&) { return std::string(); }}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      reg.add({"", "empty name",
+               [](const eng::ServeVerbContext&) { return std::string(); }}),
+      std::invalid_argument);
+  EXPECT_THROW(reg.add({"norun", "missing handler", nullptr}),
+               std::invalid_argument);
 }
 
 TEST(Serve, RejectsMalformedLines) {
@@ -899,6 +937,17 @@ TEST(Serve, RejectsMalformedLines) {
                                      &cmd, &error));
   EXPECT_NE(error.find("unknown field"), std::string::npos);
   EXPECT_FALSE(eng::parse_serve_line(R"({"op":"frobnicate"})", &cmd, &error));
+  // An unknown op tells the client what would have worked.
+  EXPECT_NE(error.find("unknown control verb 'frobnicate'"),
+            std::string::npos)
+      << error;
+  for (const char* valid : {"clear", "metrics", "save", "stats"})
+    EXPECT_NE(error.find(valid), std::string::npos) << error;
+  EXPECT_FALSE(eng::parse_serve_line(R"({"op":"stats","extra":1})", &cmd,
+                                     &error));
+  EXPECT_NE(error.find("control verbs take no other fields"),
+            std::string::npos)
+      << error;
   EXPECT_FALSE(eng::parse_serve_line(R"([1,2,3])", &cmd, &error));
   EXPECT_FALSE(
       eng::parse_serve_line(R"({"algo":"solve","n":9} trailing)", &cmd,
@@ -910,7 +959,7 @@ namespace {
 std::string run_serve(const std::string& input, std::size_t jobs,
                       std::size_t batch) {
   eng::Engine engine;
-  eng::ServeOptions opts;
+  eng::ServeConfig opts;
   opts.jobs = jobs;
   opts.batch = batch;
   std::istringstream in(input);
@@ -975,7 +1024,7 @@ TEST(Serve, SaveVerbPersistsAndWarmStartsTheNextLoop) {
   std::filesystem::remove(path);
 
   eng::Engine first;
-  eng::ServeOptions opts;
+  eng::ServeConfig opts;
   opts.jobs = 1;
   opts.batch = 1;
   opts.cache_file = path;
@@ -1061,7 +1110,7 @@ TEST(Serve, StripsTrailingCarriageReturns) {
 
 TEST(Serve, OversizedLinesAreRejectedInBandAndSkipped) {
   eng::Engine engine;
-  eng::ServeOptions opts;
+  eng::ServeConfig opts;
   opts.max_line_bytes = 64;
   const std::string big(1000, 'x');
   std::istringstream in(big + "\n{\"algo\":\"construct\",\"n\":9}\n");
@@ -1080,7 +1129,7 @@ TEST(Serve, OversizedLinesAreRejectedInBandAndSkipped) {
 
 TEST(Serve, OversizedFinalLineWithoutNewlineIsStillReported) {
   eng::Engine engine;
-  eng::ServeOptions opts;
+  eng::ServeConfig opts;
   opts.max_line_bytes = 64;
   std::istringstream in(std::string(1000, 'y'));  // no trailing newline
   std::ostringstream out;
@@ -1092,7 +1141,7 @@ TEST(Serve, OversizedFinalLineWithoutNewlineIsStillReported) {
 
 TEST(Serve, ClearVerbEmptiesTheStore) {
   eng::Engine engine;
-  eng::ServeOptions opts;
+  eng::ServeConfig opts;
   std::istringstream in(
       "{\"algo\":\"construct\",\"n\":9}\n{\"op\":\"clear\"}\n{\"op\":"
       "\"stats\"}\n");
@@ -1102,4 +1151,55 @@ TEST(Serve, ClearVerbEmptiesTheStore) {
             std::string::npos);
   EXPECT_NE(out.str().find("\"size\":0,"), std::string::npos);
   EXPECT_EQ(engine.cache().size(), 0u);
+}
+
+TEST(Serve, MetricsVerbReportsEveryRegisteredSeries) {
+  eng::Engine engine;
+  std::istringstream in(
+      "{\"algo\":\"construct\",\"n\":9}\nnot json\n{\"op\":\"metrics\"}\n");
+  std::ostringstream out;
+  ASSERT_EQ(eng::serve_loop(in, out, engine, {}), 0);
+  // The verb's line carries a JSON object with one key per series,
+  // reflecting exactly the preceding lines of this session.
+  const std::string text = out.str();
+  EXPECT_NE(text.find("{\"id\":2,\"op\":\"metrics\",\"ok\":true,"
+                      "\"metrics\":{"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"ccov_cache_misses_total\":1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"ccov_serve_requests_total\":1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"ccov_serve_errors_total\":1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"ccov_serve_sessions_total\":1"), std::string::npos)
+      << text;
+}
+
+TEST(Serve, SessionsFeedTheEngineMetricsRegistry) {
+  eng::Engine engine;
+  const std::string input =
+      "{\"algo\":\"solve\",\"n\":7}\n"
+      "{\"algo\":\"solve\",\"n\":7}\n"
+      "garbage\n"
+      "{\"op\":\"stats\"}\n";
+  std::istringstream in1(input);
+  std::ostringstream out1;
+  ASSERT_EQ(eng::serve_loop(in1, out1, engine, {}), 0);
+  std::istringstream in2(input);
+  std::ostringstream out2;
+  ASSERT_EQ(eng::serve_loop(in2, out2, engine, {}), 0);
+
+  const eng::MetricsRegistry& metrics = engine.metrics();
+  EXPECT_EQ(metrics.value("ccov_serve_sessions_total"), 2);
+  EXPECT_EQ(metrics.value("ccov_serve_sessions_active"), 0);
+  EXPECT_EQ(metrics.value("ccov_serve_requests_total"), 4);
+  EXPECT_EQ(metrics.value("ccov_serve_verbs_total"), 2);
+  EXPECT_EQ(metrics.value("ccov_serve_errors_total"), 2);
+  // Every enqueued flush job completed, so the depth gauge reconciled
+  // back to zero.
+  EXPECT_EQ(metrics.value("ccov_serve_pipeline_depth"), 0);
+  // n=7 solves actually searched; the second session hit the cache.
+  EXPECT_GT(metrics.value("ccov_solver_nodes_total"), 0);
+  EXPECT_EQ(metrics.value("ccov_cache_hits_total"), 3);
 }

@@ -111,9 +111,8 @@ class TestClient {
 /// A running ServeServer on an ephemeral loopback port.
 class ServerHarness {
  public:
-  explicit ServerHarness(eng::ServeOptions sopts = {},
-                         net::ServerOptions nopts = {})
-      : server_(engine_, sopts, nopts),
+  explicit ServerHarness(eng::ServeConfig config = {})
+      : server_(engine_, std::move(config)),
         runner_([this] { rc_ = server_.run(); }) {}
 
   ~ServerHarness() { stop(); }
@@ -137,10 +136,10 @@ class ServerHarness {
 };
 
 std::string stdio_reference(eng::Engine& engine, const std::string& input,
-                            eng::ServeOptions opts = {}) {
+                            eng::ServeConfig config = {}) {
   std::istringstream in(input);
   std::ostringstream out;
-  EXPECT_EQ(eng::serve_loop(in, out, engine, opts), 0);
+  EXPECT_EQ(eng::serve_loop(in, out, engine, config), 0);
   return out.str();
 }
 
@@ -335,9 +334,9 @@ TEST(NetServer, ClientDisconnectingMidStreamOnlyKillsItsConnection) {
 }
 
 TEST(NetServer, RefusesClientsBeyondMaxWithAnInBandError) {
-  net::ServerOptions nopts;
-  nopts.max_clients = 1;
-  ServerHarness server({}, nopts);
+  eng::ServeConfig config;
+  config.max_clients = 1;
+  ServerHarness server(config);
 
   TestClient first(server.port());
   ASSERT_TRUE(first.connected());

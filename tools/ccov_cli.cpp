@@ -9,8 +9,9 @@
 //   ccov run      --algo solve --n 9          any registered algorithm
 //   ccov sweep    --n-from 3 --n-to 15 --algo construct --jobs 4
 //                                             batch sweep, CSV/JSON out
-//   ccov serve    [--listen H:P] [--jobs K] [--batch B] [--cache-file F]
-//                                             JSONL serve loop (stdio or TCP)
+//   ccov serve    [--listen H:P | --http H:P] [--jobs K] [--batch B]
+//                 [--cache-file F]            JSONL serve loop (stdio, TCP
+//                                             or HTTP with /metrics)
 //   ccov cache    stats|save|load|clear --cache-file F
 //                                             snapshot maintenance
 //   ccov algos                                list registered algorithms
@@ -33,6 +34,7 @@
 #include "ccov/covering/solver.hpp"
 #include "ccov/engine/batch.hpp"
 #include "ccov/engine/engine.hpp"
+#include "ccov/engine/http.hpp"
 #include "ccov/engine/net.hpp"
 #include "ccov/engine/serve.hpp"
 #include "ccov/engine/store.hpp"
@@ -68,16 +70,20 @@ void print_usage(std::ostream& os) {
         "            [--format csv|json|table] [--out F] [--cache-file F]\n"
         "                                           batch sweep via the "
         "engine\n"
-        "  serve     [--listen HOST:PORT] [--jobs K] [--batch B]\n"
-        "            [--cache-file F] [--cache-capacity C] [--cache-shards "
-        "S]\n"
-        "            [--max-clients M] [--max-line BYTES]\n"
+        "  serve     [--listen HOST:PORT | --http HOST:PORT] [--jobs K]\n"
+        "            [--batch B] [--cache-file F] [--cache-capacity C]\n"
+        "            [--cache-shards S] [--max-clients M] [--max-line "
+        "BYTES]\n"
+        "            [--max-body BYTES]\n"
         "                                           JSONL serve loop: stdio "
         "by default,\n"
-        "                                           TCP with --listen "
-        "(SIGINT/SIGTERM\n"
-        "                                           shut down cleanly and "
-        "save the store)\n"
+        "                                           TCP with --listen, HTTP "
+        "with --http\n"
+        "                                           (POST /v1/batch, GET "
+        "/metrics;\n"
+        "                                           SIGINT/SIGTERM shut down "
+        "cleanly\n"
+        "                                           and save the store)\n"
         "  cache     stats|save|load|clear --cache-file F [sweep flags]\n"
         "                                           inspect / warm / verify "
         "/ reset a snapshot\n"
@@ -306,32 +312,69 @@ int cmd_sweep(const ccov::util::Cli& cli) {
   return failures == 0 ? 0 : 1;
 }
 
-int cmd_serve(const ccov::util::Cli& cli) {
-  ccov::engine::ServeOptions sopts;
-  sopts.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
-  sopts.batch = static_cast<std::size_t>(cli.get_int("batch", 1));
-  sopts.cache_file = cli.get("cache-file", "");
-  sopts.max_line_bytes = static_cast<std::size_t>(
+/// The single place serve flags become a ServeConfig — every front end
+/// (stdio, --listen, --http) consumes the result.
+ccov::engine::ServeConfig parse_serve_config(const ccov::util::Cli& cli,
+                                             const std::string& endpoint,
+                                             const std::string& flag) {
+  ccov::engine::ServeConfig config;
+  config.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
+  config.batch = static_cast<std::size_t>(cli.get_int("batch", 1));
+  config.cache_file = cli.get("cache-file", "");
+  config.max_line_bytes = static_cast<std::size_t>(
       cli.get_int("max-line", static_cast<std::int64_t>(1) << 20));
+  config.max_clients =
+      static_cast<std::size_t>(cli.get_int("max-clients", 64));
+  config.max_body_bytes = static_cast<std::size_t>(cli.get_int(
+      "max-body", static_cast<std::int64_t>(config.max_body_bytes)));
+  if (!endpoint.empty()) {
+    std::string err;
+    if (!ccov::engine::net::parse_endpoint(endpoint, &config.host,
+                                           &config.port, &err))
+      throw std::invalid_argument("--" + flag + " '" + endpoint +
+                                  "': " + err);
+  }
+  return config;
+}
+
+int cmd_serve(const ccov::util::Cli& cli) {
+  const std::string listen = cli.get("listen", "");
+  const std::string http = cli.get("http", "");
+  if (!listen.empty() && !http.empty())
+    throw std::invalid_argument(
+        "--listen and --http are mutually exclusive");
+  const ccov::engine::ServeConfig config = parse_serve_config(
+      cli, http.empty() ? listen : http, http.empty() ? "listen" : "http");
 
   ccov::engine::EngineOptions eopts;
   eopts.cache_capacity = std::max(
       static_cast<std::size_t>(cli.get_int("cache-capacity", 1 << 14)),
-      warm_capacity(sopts.cache_file, 0));
+      warm_capacity(config.cache_file, 0));
   eopts.cache_shards = static_cast<std::size_t>(cli.get_int(
       "cache-shards",
       static_cast<std::int64_t>(ccov::engine::CoverCache::kDefaultShards)));
   ccov::engine::Engine engine(eopts);
 
   if (const std::size_t loaded =
-          load_snapshot_if_exists(sopts.cache_file, engine.cache())) {
+          load_snapshot_if_exists(config.cache_file, engine.cache())) {
     std::cerr << "serve: warm-started " << loaded << " entries from "
-              << sopts.cache_file << "\n";
+              << config.cache_file << "\n";
   }
 
   int rc = 0;
-  const std::string listen = cli.get("listen", "");
-  if (listen.empty()) {
+  if (!http.empty()) {
+    ccov::engine::net::HttpServer server(engine, config);
+    ccov::engine::net::install_signal_shutdown(server.wake_fd());
+    std::cerr << "serve: http listening on " << server.host() << ":"
+              << server.port() << "\n";
+    rc = server.run();
+  } else if (!listen.empty()) {
+    ccov::engine::net::ServeServer server(engine, config);
+    ccov::engine::net::install_signal_shutdown(server.wake_fd());
+    std::cerr << "serve: listening on " << server.host() << ":"
+              << server.port() << "\n";
+    rc = server.run();
+  } else {
     // Unsynchronized streams let the stdio transport's read_some drain
     // whole buffered lines via readsome() instead of one byte per call
     // (std::cin's C-stdio sync buffer always reports in_avail() == 0).
@@ -340,25 +383,12 @@ int cmd_serve(const ccov::util::Cli& cli) {
     // responses to it.
     std::ios::sync_with_stdio(false);
     std::cin.tie(nullptr);
-    rc = ccov::engine::serve_loop(std::cin, std::cout, engine, sopts);
-  } else {
-    ccov::engine::net::ServerOptions nopts;
-    std::string err;
-    if (!ccov::engine::net::parse_endpoint(listen, &nopts.host, &nopts.port,
-                                           &err))
-      throw std::invalid_argument("--listen '" + listen + "': " + err);
-    nopts.max_clients =
-        static_cast<std::size_t>(cli.get_int("max-clients", 64));
-    ccov::engine::net::ServeServer server(engine, sopts, nopts);
-    ccov::engine::net::install_signal_shutdown(server);
-    std::cerr << "serve: listening on " << server.host() << ":"
-              << server.port() << "\n";
-    rc = server.run();
+    rc = ccov::engine::serve_loop(std::cin, std::cout, engine, config);
   }
-  if (!sopts.cache_file.empty()) {
-    ccov::engine::save_snapshot_file(sopts.cache_file, engine.cache());
+  if (!config.cache_file.empty()) {
+    ccov::engine::save_snapshot_file(config.cache_file, engine.cache());
     std::cerr << "serve: saved " << engine.cache().size() << " entries to "
-              << sopts.cache_file << "\n";
+              << config.cache_file << "\n";
   }
   return rc;
 }
