@@ -1,0 +1,537 @@
+// bench_transport — cross-transport latency benchmark for the serve
+// protocol. Drives N identical single-line requests, one at a time,
+// through four in-process front ends:
+//
+//   stdio   serve_session over a pipe pair (the stdio transport's wire)
+//   tcp     ServeServer on 127.0.0.1, one keep-alive connection
+//   http    HttpServer, POST /v1/batch per request on one keep-alive
+//           connection (chunked responses parsed to completion)
+//   shm     ShmServer + ShmClient over the shared-memory rings
+//
+// and reports p50/p99/p999 round-trip latency plus serial throughput
+// per transport as JSON (default BENCH_transport.json). Before timing
+// anything it replays a mixed request script through stdio and shm and
+// exits nonzero unless the responses are byte-identical — the bench
+// doubles as the cross-transport equivalence check.
+//
+// Flags: --requests N   timed round trips per transport (default 4000)
+//        --warmup N     untimed leading round trips (default 200)
+//        --quick        CI sizing (400 requests, 50 warmup)
+//        --out FILE     output path (default BENCH_transport.json)
+//        --ring BYTES   shm ring capacity (default ServeConfig's)
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ccov/engine/engine.hpp"
+#include "ccov/engine/http.hpp"
+#include "ccov/engine/net.hpp"
+#include "ccov/engine/serve.hpp"
+#include "ccov/engine/shm.hpp"
+#include "ccov/util/cli.hpp"
+#include "ccov/util/json.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Transport drivers: send one JSONL request line, return one response line.
+// ---------------------------------------------------------------------------
+
+/// A blocking line client over one fd pair (equal fds for a socket).
+/// Reads are buffered so a round trip costs one read syscall in the
+/// common case, mirroring what a real co-located client would do.
+class FdLineClient {
+ public:
+  FdLineClient(int rd, int wr) : rd_(rd), wr_(wr) {}
+
+  bool send(const std::string& line) {
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t w = ::write(wr_, line.data() + off, line.size() - off);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(w);
+    }
+    return true;
+  }
+
+  bool recv_line(std::string* line) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line->assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      if (!fill()) return false;
+    }
+  }
+
+  /// Consume exactly `n` bytes into *out (appended).
+  bool recv_exact(std::size_t n, std::string* out) {
+    while (buf_.size() < n)
+      if (!fill()) return false;
+    out->append(buf_, 0, n);
+    buf_.erase(0, n);
+    return true;
+  }
+
+ private:
+  bool fill() {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t r = ::read(rd_, chunk, sizeof chunk);
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(r));
+      return true;
+    }
+  }
+
+  int rd_;
+  int wr_;
+  std::string buf_;
+};
+
+/// ServeStream over two plain fds — the stdio transport's wire shape
+/// (pipe in, pipe out) without dragging iostreams into the timing.
+class PipeStream final : public ccov::engine::ServeStream {
+ public:
+  PipeStream(int rd, int wr) : rd_(rd), wr_(wr) {}
+
+  std::ptrdiff_t read_some(char* buf, std::size_t n) override {
+    for (;;) {
+      const ssize_t r = ::read(rd_, buf, n);
+      if (r < 0 && errno == EINTR) continue;
+      return r < 0 ? -1 : static_cast<std::ptrdiff_t>(r);
+    }
+  }
+
+  bool write_all(const char* data, std::size_t n) override {
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::write(wr_, data + off, n - off);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(w);
+    }
+    return true;
+  }
+
+ private:
+  int rd_;
+  int wr_;
+};
+
+/// serve_session over a pipe pair on a background thread.
+class StdioTransport {
+ public:
+  StdioTransport(ccov::engine::Engine& engine,
+                 const ccov::engine::ServeConfig& config) {
+    int req[2], resp[2];
+    if (::pipe(req) != 0 || ::pipe(resp) != 0)
+      throw std::runtime_error("pipe failed");
+    req_wr_ = req[1];
+    resp_rd_ = resp[0];
+    server_ = std::thread([&engine, &config, rd = req[0], wr = resp[1]] {
+      PipeStream io(rd, wr);
+      ccov::engine::serve_session(io, engine, config);
+      ::close(rd);
+      ::close(wr);
+    });
+    client_ = std::make_unique<FdLineClient>(resp_rd_, req_wr_);
+  }
+
+  ~StdioTransport() {
+    ::close(req_wr_);  // EOF ends the session
+    server_.join();
+    ::close(resp_rd_);
+  }
+
+  bool round_trip(const std::string& line, std::string* out) {
+    return client_->send(line) && client_->recv_line(out);
+  }
+
+ private:
+  int req_wr_ = -1;
+  int resp_rd_ = -1;
+  std::thread server_;
+  std::unique_ptr<FdLineClient> client_;
+};
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw std::runtime_error("connect failed");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+/// ServeServer on an ephemeral loopback port, one keep-alive connection.
+class TcpTransport {
+ public:
+  TcpTransport(ccov::engine::Engine& engine,
+               const ccov::engine::ServeConfig& config)
+      : server_(engine, config) {
+    thread_ = std::thread([this] { server_.run(); });
+    fd_ = connect_loopback(server_.port());
+    client_ = std::make_unique<FdLineClient>(fd_, fd_);
+  }
+
+  ~TcpTransport() {
+    ::close(fd_);
+    server_.shutdown();
+    thread_.join();
+  }
+
+  bool round_trip(const std::string& line, std::string* out) {
+    return client_->send(line) && client_->recv_line(out);
+  }
+
+ private:
+  ccov::engine::net::ServeServer server_;
+  std::thread thread_;
+  int fd_ = -1;
+  std::unique_ptr<FdLineClient> client_;
+};
+
+/// HttpServer with one POST /v1/batch per request on a keep-alive
+/// connection; a round trip parses the chunked response to completion.
+class HttpTransport {
+ public:
+  HttpTransport(ccov::engine::Engine& engine,
+                const ccov::engine::ServeConfig& config)
+      : server_(engine, config) {
+    thread_ = std::thread([this] { server_.run(); });
+    fd_ = connect_loopback(server_.port());
+    client_ = std::make_unique<FdLineClient>(fd_, fd_);
+  }
+
+  ~HttpTransport() {
+    ::close(fd_);
+    server_.shutdown();
+    thread_.join();
+  }
+
+  bool round_trip(const std::string& line, std::string* out) {
+    std::string req = "POST /v1/batch HTTP/1.1\r\nHost: bench\r\n";
+    req += "Content-Type: application/x-ndjson\r\nContent-Length: ";
+    req += std::to_string(line.size());
+    req += "\r\n\r\n";
+    req += line;
+    if (!client_->send(req)) return false;
+
+    // Status line + headers end at the first empty line.
+    for (;;) {
+      std::string h;
+      if (!client_->recv_line(&h)) return false;
+      if (!h.empty() && h.back() == '\r') h.pop_back();
+      if (h.empty()) break;
+    }
+    // Chunked body until the terminating 0-chunk; the payload is the
+    // serve-protocol response line, newline included.
+    std::string body;
+    for (;;) {
+      std::string size_line;
+      if (!client_->recv_line(&size_line)) return false;
+      if (!size_line.empty() && size_line.back() == '\r') size_line.pop_back();
+      const std::size_t n = std::strtoull(size_line.c_str(), nullptr, 16);
+      std::string crlf;
+      if (n == 0) {
+        if (!client_->recv_line(&crlf)) return false;
+        break;
+      }
+      if (!client_->recv_exact(n, &body)) return false;
+      if (!client_->recv_line(&crlf)) return false;  // chunk-ending CRLF
+    }
+    if (!body.empty() && body.back() == '\n') body.pop_back();
+    *out = body;
+    return true;
+  }
+
+ private:
+  ccov::engine::net::HttpServer server_;
+  std::thread thread_;
+  int fd_ = -1;
+  std::unique_ptr<FdLineClient> client_;
+};
+
+/// ShmServer on a thread + ShmClient over the rings.
+class ShmTransport {
+ public:
+  ShmTransport(ccov::engine::Engine& engine,
+               const ccov::engine::ServeConfig& config)
+      : server_(engine, config) {
+    thread_ = std::thread([this] { server_.run(); });
+    std::string error;
+    for (int i = 0; i < 200 && !client_.connect(server_.name(), &error); ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (!client_.connected())
+      throw std::runtime_error("shm connect: " + error);
+  }
+
+  ~ShmTransport() {
+    client_.close();
+    server_.shutdown();
+    thread_.join();
+  }
+
+  bool round_trip(const std::string& line, std::string* out) {
+    return client_.send(line.data(), line.size()) && client_.read_line(out);
+  }
+
+ private:
+  ccov::engine::shm::ShmServer server_;
+  std::thread thread_;
+  ccov::engine::shm::ShmClient client_;
+};
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+struct Stats {
+  std::int64_t p50_ns = 0;
+  std::int64_t p99_ns = 0;
+  std::int64_t p999_ns = 0;
+  std::int64_t mean_ns = 0;
+  std::int64_t requests_per_s = 0;
+  std::size_t requests = 0;
+};
+
+std::int64_t percentile(const std::vector<std::int64_t>& sorted, int per_mille) {
+  const std::size_t idx = std::min(
+      sorted.size() - 1, sorted.size() * static_cast<std::size_t>(per_mille) /
+                             1000);
+  return sorted[idx];
+}
+
+template <typename Transport>
+Stats measure(Transport& t, const std::string& line, std::size_t warmup,
+              std::size_t requests) {
+  std::string resp;
+  for (std::size_t i = 0; i < warmup; ++i)
+    if (!t.round_trip(line, &resp))
+      throw std::runtime_error("transport failed during warmup");
+
+  std::vector<std::int64_t> lat;
+  lat.reserve(requests);
+  std::int64_t total_ns = 0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto t0 = Clock::now();
+    if (!t.round_trip(line, &resp))
+      throw std::runtime_error("transport failed mid-measurement");
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count();
+    lat.push_back(ns);
+    total_ns += ns;
+  }
+  std::sort(lat.begin(), lat.end());
+
+  Stats s;
+  s.requests = requests;
+  s.p50_ns = percentile(lat, 500);
+  s.p99_ns = percentile(lat, 990);
+  s.p999_ns = percentile(lat, 999);
+  s.mean_ns = total_ns / static_cast<std::int64_t>(requests);
+  s.requests_per_s =
+      total_ns > 0 ? static_cast<std::int64_t>(requests) * 1'000'000'000 /
+                         total_ns
+                   : 0;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity check: stdio vs shm over a mixed script.
+// ---------------------------------------------------------------------------
+
+const char* const kScript[] = {
+    R"({"algo":"construct","n":7})",
+    R"({"algo":"construct","n":9,"validate":true})",
+    R"({"algo":"construct","n":12})",
+    R"(this is not json)",
+    R"({"algo":"no-such-algorithm","n":5})",
+    R"({"algo":"construct","n":7})",  // cache hit second time around
+};
+
+template <typename Transport>
+std::vector<std::string> run_script(Transport& t) {
+  std::vector<std::string> out;
+  std::string resp;
+  for (const char* req : kScript) {
+    if (!t.round_trip(std::string(req) + "\n", &resp))
+      throw std::runtime_error("transport failed during identity script");
+    out.push_back(resp);
+  }
+  return out;
+}
+
+bool check_identity(const ccov::engine::ServeConfig& config) {
+  // A fresh engine per transport: both scripts must see the same cold
+  // cache, or the cache_hit field would differ for legitimate reasons.
+  std::vector<std::string> via_stdio, via_shm;
+  {
+    ccov::engine::Engine engine{ccov::engine::EngineOptions{}};
+    StdioTransport t(engine, config);
+    via_stdio = run_script(t);
+  }
+  {
+    ccov::engine::Engine engine{ccov::engine::EngineOptions{}};
+    ShmTransport t(engine, config);
+    via_shm = run_script(t);
+  }
+  if (via_stdio == via_shm) return true;
+  std::cerr << "FAIL: shm responses are not byte-identical to stdio\n";
+  for (std::size_t i = 0; i < via_stdio.size(); ++i) {
+    if (via_stdio[i] != via_shm[i])
+      std::cerr << "  line " << i << ":\n    stdio: " << via_stdio[i]
+                << "\n    shm:   " << via_shm[i] << "\n";
+  }
+  return false;
+}
+
+void append_stats(ccov::util::json::JsonWriter& w, const char* name,
+                  const Stats& s) {
+  w.key(name)
+      .begin_object()
+      .key("p50_ns")
+      .value(s.p50_ns)
+      .key("p99_ns")
+      .value(s.p99_ns)
+      .key("p999_ns")
+      .value(s.p999_ns)
+      .key("mean_ns")
+      .value(s.mean_ns)
+      .key("requests_per_s")
+      .value(s.requests_per_s)
+      .end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ccov::util::Cli cli(argc, argv);
+  const bool quick = cli.has("quick");
+  const std::size_t requests = static_cast<std::size_t>(
+      cli.get_int("requests", quick ? 400 : 4000));
+  const std::size_t warmup =
+      static_cast<std::size_t>(cli.get_int("warmup", quick ? 50 : 200));
+  const std::string out_path = cli.get("out", "BENCH_transport.json");
+
+  ccov::engine::ServeConfig config;
+  config.shm_name =
+      "ccov_bench_" + std::to_string(static_cast<unsigned>(::getpid()));
+  config.shm_ring_bytes = static_cast<std::size_t>(
+      cli.get_int("ring", static_cast<std::int64_t>(config.shm_ring_bytes)));
+
+  ccov::engine::EngineOptions eopts;
+  ccov::engine::Engine engine(eopts);
+
+  if (!check_identity(config)) return 1;
+  std::cerr << "identity: shm responses byte-identical to stdio ("
+            << std::size(kScript) << " lines)\n";
+
+  // One cached request line: after the first warmup iteration every
+  // transport serves the same cache hit, so the measurement isolates
+  // transport cost rather than solver cost.
+  const std::string line = R"({"algo":"construct","n":11})" "\n";
+
+  Stats stdio_s, tcp_s, http_s, shm_s;
+  {
+    StdioTransport t(engine, config);
+    stdio_s = measure(t, line, warmup, requests);
+  }
+  {
+    TcpTransport t(engine, config);
+    tcp_s = measure(t, line, warmup, requests);
+  }
+  {
+    HttpTransport t(engine, config);
+    http_s = measure(t, line, warmup, requests);
+  }
+  {
+    ShmTransport t(engine, config);
+    shm_s = measure(t, line, warmup, requests);
+  }
+
+  const auto report = [](const char* name, const Stats& s) {
+    std::cerr << "  " << name << ": p50 " << s.p50_ns / 1000.0 << " us, p99 "
+              << s.p99_ns / 1000.0 << " us, p999 " << s.p999_ns / 1000.0
+              << " us, " << s.requests_per_s << " req/s\n";
+  };
+  std::cerr << "transport latency (" << requests << " round trips each):\n";
+  report("stdio", stdio_s);
+  report("tcp  ", tcp_s);
+  report("http ", http_s);
+  report("shm  ", shm_s);
+
+  // The x1000 fixed-point ratio keeps the writer integer-only.
+  const std::int64_t speedup_milli =
+      shm_s.p50_ns > 0 ? tcp_s.p50_ns * 1000 / shm_s.p50_ns : 0;
+  std::cerr << "shm p50 is " << speedup_milli / 1000.0
+            << "x lower than tcp loopback\n";
+
+  ccov::util::json::JsonWriter w;
+  w.begin_object()
+      .key("bench")
+      .value_string("transport")
+      .key("requests")
+      .value(static_cast<std::int64_t>(requests))
+      .key("warmup")
+      .value(static_cast<std::int64_t>(warmup))
+      .key("quick")
+      .value(quick)
+      .key("request_line")
+      .value_string(R"({"algo":"construct","n":11})")
+      .key("ring_bytes")
+      .value(static_cast<std::int64_t>(config.shm_ring_bytes))
+      .key("byte_identical_shm_vs_stdio")
+      .value(true)
+      .key("transports")
+      .begin_object();
+  append_stats(w, "stdio", stdio_s);
+  append_stats(w, "tcp", tcp_s);
+  append_stats(w, "http", http_s);
+  append_stats(w, "shm", shm_s);
+  w.end_object()
+      .key("shm_vs_tcp_p50_speedup_milli")
+      .value(speedup_milli)
+      .end_object();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -111,10 +111,34 @@ class CoverCache {
   /// shard's slice evict its LRU tail as usual.
   void import_entry(const std::string& key, CoverResponse resp);
 
+  /// Zero-copy hit probe: on a hit, touches LRU recency, counts the
+  /// hit, and invokes `fn(entry, stamp)` with the cached canonical-frame
+  /// entry while the shard lock is held (the reference dies with the
+  /// call — don't stash it). `stamp` uniquely identifies the stored
+  /// value: any store()/import for the key — even writing equal bytes —
+  /// issues a fresh one, so callers memoizing derived artifacts (e.g. a
+  /// rendered response) can revalidate with one integer compare.
+  /// Returns true iff `fn` ran. A miss returns false *without* counting
+  /// it, so a caller falling back to lookup()/Engine::run() still
+  /// counts that miss exactly once.
+  template <typename Fn>
+  bool visit(const CanonicalKey& ck, Fn&& fn) {
+    Shard& shard = shard_for(ck.key);
+    std::lock_guard lk(shard.mu);
+    const auto it = shard.index.find(ck.key);
+    if (it == shard.index.end()) return false;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    fn(static_cast<const CoverResponse&>(it->second->resp),
+       it->second->stamp);
+    return true;
+  }
+
  private:
   struct Entry {
     std::string key;
     CoverResponse resp;  ///< cover stored in the canonical frame
+    std::uint64_t stamp = 0;  ///< unique per store — see visit()
   };
 
   struct Shard {
@@ -130,6 +154,9 @@ class CoverCache {
 
   std::size_t capacity_;
   std::vector<Shard> shards_;
+  /// Source of Entry::stamp values; never reused, so a stamp compare is
+  /// a sound freshness check for anything derived from an entry.
+  std::atomic<std::uint64_t> next_stamp_{1};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};

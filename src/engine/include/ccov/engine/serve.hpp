@@ -89,6 +89,14 @@ struct ServeConfig {
   /// Largest accepted Content-Length for POST /v1/batch; bigger bodies
   /// are refused with 413 before any byte of the body is read.
   std::size_t max_body_bytes = 64u << 20;
+
+  // --- shared-memory front end (shm.hpp) ---------------------------------
+  /// POSIX shm segment name for `--shm` (with or without the leading
+  /// '/'); empty = transport not selected.
+  std::string shm_name;
+  /// Per-ring data capacity in bytes (one request ring + one response
+  /// ring per segment); must be a power of two.
+  std::size_t shm_ring_bytes = 1 << 20;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,199 @@
+#pragma once
+/// \file shm.hpp
+/// Zero-copy shared-memory transport for co-located clients (POSIX
+/// only, like net.hpp). `ccov serve --shm NAME` creates a shm_open'd
+/// segment holding a handshake header plus two lock-free SPSC byte
+/// rings (util::ShmByteRing): client -> server requests and server ->
+/// client responses, both carrying the ordinary JSONL serve protocol.
+/// The steady-state hot path is syscall-free and copy-once per side —
+/// a request line is memcpy'd straight into the mapped ring and read
+/// straight out of it, no socket, no kernel buffer.
+///
+/// Segment layout (see ShmSegmentHeader):
+///
+///   [header: magic/version/capacity handshake, client slot, flags]
+///   [request ring  control + data]   client writes, server reads
+///   [response ring control + data]   server writes, client reads
+///
+/// Connection model: one client at a time (the rings are SPSC). A
+/// client claims the slot by CAS-ing client_pid from 0 to its own pid;
+/// the server runs one serve_session over the rings, and when the
+/// session ends (client set client_eof and the request ring drained,
+/// client vanished, or shutdown) it resets the rings, bumps the epoch
+/// and re-opens the slot. Liveness is pid-based: the server probes
+/// kill(pid, 0) while idle-waiting, so a client that died without
+/// detaching frees the slot instead of wedging the server; the epoch
+/// lets a stale client discover its session was torn down. A second
+/// concurrent client fails its claim with "busy" instead of corrupting
+/// the stream.
+///
+/// Shutdown mirrors net.hpp: ShmServer exposes a self-pipe wake_fd()
+/// for install_signal_shutdown; on shutdown it raises the header flag,
+/// wakes both rings' futexes so a blocked peer re-checks promptly,
+/// drains the session, unmaps and shm_unlink's the segment.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ccov/engine/serve.hpp"
+#include "ccov/util/shm_ring.hpp"
+
+namespace ccov::engine::shm {
+
+inline constexpr std::uint64_t kShmMagic = 0x31646873766f6363ULL;  // "ccovshd1"
+inline constexpr std::uint32_t kShmVersion = 1;
+/// client_pid sentinel held by the server while it rebuilds the rings
+/// between sessions (pid 1 is never a transport client).
+inline constexpr std::uint32_t kSlotResetting = 1;
+
+/// Handshake + client slot at the front of the segment. Standard
+/// layout; every mutable field is a lock-free atomic because the two
+/// sides are different processes.
+struct ShmSegmentHeader {
+  /// kShmMagic, release-stored *last* by the server's init so a client
+  /// attaching mid-construction rejects the segment instead of racing.
+  std::atomic<std::uint64_t> magic;
+  std::uint32_t version = 0;        ///< kShmVersion
+  std::uint32_t ring_capacity = 0;  ///< data bytes per ring, power of two
+  std::atomic<std::uint32_t> server_pid;
+  /// The client slot: 0 = free, kSlotResetting while the server
+  /// rebuilds the rings between sessions, otherwise the client's pid.
+  /// Claimed with a CAS by exactly one client; cleared by a clean
+  /// detach or by the server when the pid is gone.
+  std::atomic<std::uint32_t> client_pid;
+  /// Bumped by the server every time it resets the rings for a new
+  /// session; a client that sees it change knows its session is over.
+  std::atomic<std::uint32_t> epoch;
+  /// Client sets after its last request byte: the server's read side
+  /// treats "request ring empty + client_eof" as end-of-stream.
+  std::atomic<std::uint32_t> client_eof;
+  /// Server sets after the session's last response byte: the client's
+  /// read side treats "response ring empty + server_eof" as EOF.
+  std::atomic<std::uint32_t> server_eof;
+  /// Server raises on teardown; both sides abandon blocking waits.
+  std::atomic<std::uint32_t> shutdown;
+};
+
+/// Total segment size for a given per-ring capacity.
+std::size_t segment_bytes(std::size_t ring_capacity);
+
+/// Normalize a user-supplied segment name to the "/name" form POSIX
+/// shm_open wants. Returns false on names that are empty, contain '/',
+/// or exceed NAME_MAX.
+bool normalize_shm_name(const std::string& name, std::string* out,
+                        std::string* error);
+
+/// `ccov serve --shm NAME`: the shared-memory front end. Creates the
+/// segment in the constructor (throws std::runtime_error when the name
+/// is taken by a *live* server; a stale segment left by a dead one is
+/// recycled), serves one client session at a time until shutdown, then
+/// unlinks the segment.
+class ShmServer {
+ public:
+  ShmServer(Engine& engine, ServeConfig config);
+  ~ShmServer();
+
+  ShmServer(const ShmServer&) = delete;
+  ShmServer& operator=(const ShmServer&) = delete;
+
+  /// The normalized segment name ("/name").
+  const std::string& name() const { return name_; }
+
+  /// Serve client sessions until shutdown() is called. Returns 0 on a
+  /// clean shutdown.
+  int run();
+
+  /// Request shutdown from any thread. Safe to call more than once.
+  void shutdown();
+
+  /// Write end of the self-pipe — async-signal-safe shutdown channel
+  /// for install_signal_shutdown, exactly like ConnectionServer.
+  int wake_fd() const { return wake_wr_; }
+
+ private:
+  bool shutdown_requested() const;
+  void reset_session();
+
+  Engine& engine_;
+  ServeConfig config_;
+  std::string name_;
+  void* mem_ = nullptr;
+  std::size_t size_ = 0;
+  ShmSegmentHeader* header_ = nullptr;
+  util::ShmByteRing request_ring_;
+  util::ShmByteRing response_ring_;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+};
+
+/// Client side of the transport: attach to a served segment, claim the
+/// slot, exchange JSONL lines. Not thread-safe (one session, one user);
+/// send and receive may be driven from two threads like any SPSC pair.
+class ShmClient {
+ public:
+  ShmClient() = default;
+  ~ShmClient();
+
+  ShmClient(const ShmClient&) = delete;
+  ShmClient& operator=(const ShmClient&) = delete;
+
+  /// Attach to segment `name` and claim the client slot. Returns false
+  /// and sets *error on a missing segment, a bad magic/version/capacity
+  /// handshake (torn or foreign segment), a segment smaller than its
+  /// header claims, or a slot already held by a live client.
+  bool connect(const std::string& name, std::string* error);
+
+  bool connected() const { return header_ != nullptr; }
+
+  /// True while the session is usable: server alive, not shutting
+  /// down, epoch unchanged since the claim.
+  bool ok() const;
+
+  /// Send raw request bytes (the caller supplies the newline framing).
+  /// Blocks on a full ring; returns false when the server shut down or
+  /// tore the session down (epoch moved on). A caller that may fill
+  /// *both* rings (batch larger than the response ring) must use
+  /// try_send/wait_send and drain responses in between instead.
+  bool send(const char* data, std::size_t n);
+  bool send_line(const std::string& line);
+
+  /// Nonblocking send: accepts up to `n` bytes, returns the number
+  /// taken (0 when the ring is full — check ok() and drain responses).
+  std::size_t try_send(const char* data, std::size_t n);
+
+  /// Block until the request ring has space or ~timeout_ms elapsed.
+  void wait_send(int timeout_ms);
+
+  /// Declare end of requests: the server answers what it has and ends
+  /// the session.
+  void finish();
+
+  /// Read one response line (without the trailing newline). Returns
+  /// false on end-of-stream: the server finished the session (EOF),
+  /// shut down, or reset the epoch.
+  bool read_line(std::string* line);
+
+  /// Nonblocking drain of whatever response bytes are ready right now;
+  /// appends to *out and returns the number of bytes taken. Lets a
+  /// pumping client interleave sends and receives without deadlocking
+  /// on two full rings.
+  std::size_t drain_available(std::string* out);
+
+  /// Release the slot and unmap. Idempotent.
+  void close();
+
+ private:
+  bool session_over() const;
+
+  void* mem_ = nullptr;
+  std::size_t size_ = 0;
+  ShmSegmentHeader* header_ = nullptr;
+  util::ShmByteRing request_ring_;
+  util::ShmByteRing response_ring_;
+  std::uint32_t epoch_ = 0;
+  std::string rx_;  ///< bytes drained but not yet returned as lines
+  std::string tx_;  ///< reused send_line staging buffer (line + '\n')
+};
+
+}  // namespace ccov::engine::shm

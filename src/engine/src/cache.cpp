@@ -1,8 +1,8 @@
 #include "ccov/engine/cache.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <functional>
-#include <sstream>
 #include <utility>
 
 #include "ccov/covering/canonical.hpp"
@@ -34,19 +34,41 @@ EdgeList transform_demand(const std::vector<graph::Edge>& demand,
   return out;
 }
 
+/// Decimal append without a std::to_string temporary — key building sits
+/// on the cache-hit hot path. Bytes match what ostringstream printed
+/// (bools as 1/0 via the integer overloads).
+void append_num(std::string* out, std::uint64_t v) {
+  char buf[20];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out->append(buf, end);
+}
+
 }  // namespace
 
 CanonicalKey canonical_request_key(const CoverRequest& req) {
-  std::ostringstream key;
-  key << req.algorithm << "|n=" << req.n << "|b=" << req.budget
-      << "|l=" << req.lambda << "|mcl=" << req.solver.max_cycle_len
-      << "|mn=" << req.solver.max_nodes
-      << "|cp=" << req.solver.use_capacity_prune << "|v=" << req.validate;
+  std::string key;
+  key.reserve(96);
+  key += req.algorithm;
+  key += "|n=";
+  append_num(&key, req.n);
+  key += "|b=";
+  append_num(&key, req.budget);
+  key += "|l=";
+  append_num(&key, req.lambda);
+  key += "|mcl=";
+  append_num(&key, req.solver.max_cycle_len);
+  key += "|mn=";
+  append_num(&key, req.solver.max_nodes);
+  key += "|cp=";
+  append_num(&key, req.solver.use_capacity_prune ? 1 : 0);
+  key += "|v=";
+  append_num(&key, req.validate ? 1 : 0);
 
   CanonicalKey out;
   if (req.demand.empty() || req.n == 0) {
     // K_n is fixed by every element of D_n: the identity suffices.
-    key << "|K_n";
+    key += "|K_n";
   } else {
     // Lexicographically least D_n-image of the demand; the minimizing
     // element maps this request's frame onto the canonical frame.
@@ -62,10 +84,15 @@ CanonicalKey canonical_request_key(const CoverRequest& req) {
         }
       }
     }
-    key << "|D";
-    for (const auto& [u, v] : best) key << " " << u << "-" << v;
+    key += "|D";
+    for (const auto& [u, v] : best) {
+      key += " ";
+      append_num(&key, u);
+      key += "-";
+      append_num(&key, v);
+    }
   }
-  out.key = key.str();
+  out.key = std::move(key);
   return out;
 }
 
@@ -121,7 +148,13 @@ std::optional<CoverResponse> CoverCache::lookup(const CanonicalKey& ck) {
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
   // Map the canonical-frame cover back into the request's own frame.
-  if (resp.found) resp.cover = apply_inverse(resp.cover, ck.to_canonical);
+  // Skip the identity outright: apply_inverse would round-trip the
+  // whole cover through a by-value copy just to hand it back unchanged.
+  const DihedralElement& g = ck.to_canonical;
+  const bool identity =
+      !g.reflect && (resp.cover.n == 0 || g.shift % resp.cover.n == 0);
+  if (resp.found && !identity)
+    resp.cover = apply_inverse(resp.cover, g);
   resp.cache_hit = true;
   resp.nodes = 0;  // nothing was searched
   resp.elapsed_ms = 0.0;
@@ -152,16 +185,19 @@ void CoverCache::insert(const CanonicalKey& ck, const CoverResponse& resp) {
 
 void CoverCache::store(const std::string& key, CoverResponse resp) {
   Shard& shard = shard_for(key);
+  const std::uint64_t stamp =
+      next_stamp_.fetch_add(1, std::memory_order_relaxed);
   bool evicted = false;
   {
     std::lock_guard lk(shard.mu);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       it->second->resp = std::move(resp);
+      it->second->stamp = stamp;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return;
     }
-    shard.lru.push_front(Entry{key, std::move(resp)});
+    shard.lru.push_front(Entry{key, std::move(resp), stamp});
     shard.index[key] = shard.lru.begin();
     if (shard.lru.size() > shard.capacity) {
       shard.index.erase(shard.lru.back().key);

@@ -229,6 +229,12 @@ SocketStream::SocketStream(int fd, int wake_fd) : fd_(fd), wake_fd_(wake_fd) {
   // block past what write_all's shutdown grace period allows.
   const int flags = ::fcntl(fd_, F_GETFL, 0);
   if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  // Disable Nagle: responses written as several small sends (the HTTP
+  // front end's header + chunk frames) must not wait out the peer's
+  // delayed ACK — a 40ms stall per response on an idle connection.
+  // Failure is fine; the fd may not be TCP (tests use socketpairs).
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
 SocketStream::~SocketStream() {

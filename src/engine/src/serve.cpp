@@ -6,6 +6,7 @@
 #include <functional>
 #include <istream>
 #include <limits>
+#include <charconv>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -262,8 +263,21 @@ bool parse_serve_line(const std::string& line, ServeCommand* cmd,
   return extract_request(root, &cmd->req, error);
 }
 
-std::string serve_response_line(std::uint64_t id, const CoverResponse& resp) {
-  json::JsonWriter w;
+namespace {
+
+/// Core renderer behind serve_response_line: appends the response object
+/// (no newline) to `w`, so hot loops can reuse one writer — and its
+/// buffer — across responses. `cache_hit`/`nodes` are taken as
+/// parameters rather than read off `resp` so the zero-copy cache path
+/// can render a stored entry with the overrides a hit applies.
+void render_response_line(json::JsonWriter& w, std::uint64_t id,
+                          const CoverResponse& resp, bool cache_hit,
+                          std::uint64_t nodes) {
+  // ~12 bytes per cover vertex ("nn," with brackets) on top of the fixed
+  // fields: one right-sized allocation instead of log2(size) regrowths.
+  std::size_t vertices = 0;
+  for (const covering::Cycle& c : resp.cover.cycles) vertices += c.size();
+  w.reserve(w.str().size() + 160 + resp.error.size() + 12 * vertices);
   w.begin_object()
       .key("id").value(id)
       .key("ok").value(resp.ok)
@@ -271,12 +285,12 @@ std::string serve_response_line(std::uint64_t id, const CoverResponse& resp) {
       .key("n").value(static_cast<std::uint64_t>(resp.n));
   if (!resp.ok) {
     w.key("error").value_string(resp.error).end_object();
-    return w.take();
+    return;
   }
   w.key("found").value(resp.found)
       .key("exhausted").value(resp.exhausted)
-      .key("nodes").value(resp.nodes)
-      .key("cache_hit").value(resp.cache_hit);
+      .key("nodes").value(nodes)
+      .key("cache_hit").value(cache_hit);
   if (resp.validated) w.key("valid").value(resp.valid);
   if (resp.found) {
     w.key("cover").begin_array();
@@ -289,16 +303,33 @@ std::string serve_response_line(std::uint64_t id, const CoverResponse& resp) {
     w.end_array();
   }
   w.end_object();
-  return w.take();
 }
 
-std::string serve_error_line(std::uint64_t id, const std::string& error) {
-  json::JsonWriter w;
+void render_response_line(json::JsonWriter& w, std::uint64_t id,
+                          const CoverResponse& resp) {
+  render_response_line(w, id, resp, resp.cache_hit, resp.nodes);
+}
+
+void render_error_line(json::JsonWriter& w, std::uint64_t id,
+                       const std::string& error) {
   w.begin_object()
       .key("id").value(id)
       .key("ok").value(false)
       .key("error").value_string(error)
       .end_object();
+}
+
+}  // namespace
+
+std::string serve_response_line(std::uint64_t id, const CoverResponse& resp) {
+  json::JsonWriter w;
+  render_response_line(w, id, resp);
+  return w.take();
+}
+
+std::string serve_error_line(std::uint64_t id, const std::string& error) {
+  json::JsonWriter w;
+  render_error_line(w, id, error);
   return w.take();
 }
 
@@ -381,6 +412,35 @@ class LineReader {
   std::size_t len_ = 0;
 };
 
+/// Wraps the session's transport to account every payload byte that
+/// crosses the ServeStream seam, so byte-level throughput is visible in
+/// /metrics for stdio, TCP, HTTP and shm alike.
+class CountingStream final : public ServeStream {
+ public:
+  CountingStream(ServeStream& inner, Counter& bytes_read,
+                 Counter& bytes_written)
+      : inner_(inner), bytes_read_(bytes_read), bytes_written_(bytes_written) {}
+
+  std::ptrdiff_t read_some(char* buf, std::size_t n) override {
+    const std::ptrdiff_t r = inner_.read_some(buf, n);
+    if (r > 0) bytes_read_.add(static_cast<std::uint64_t>(r));
+    return r;
+  }
+
+  bool write_all(const char* data, std::size_t n) override {
+    const bool ok = inner_.write_all(data, n);
+    if (ok) bytes_written_.add(n);
+    return ok;
+  }
+
+  bool flush() override { return inner_.flush(); }
+
+ private:
+  ServeStream& inner_;
+  Counter& bytes_read_;
+  Counter& bytes_written_;
+};
+
 /// ServeStream over an istream/ostream pair (the stdio transport).
 class IostreamServeStream final : public ServeStream {
  public:
@@ -420,7 +480,8 @@ class IostreamServeStream final : public ServeStream {
 
 }  // namespace
 
-int serve_session(ServeStream& io, Engine& engine, const ServeConfig& config) {
+int serve_session(ServeStream& raw_io, Engine& engine,
+                  const ServeConfig& config) {
   struct Pending {
     std::uint64_t id = 0;
     bool is_request = false;
@@ -437,6 +498,10 @@ int serve_session(ServeStream& io, Engine& engine, const ServeConfig& config) {
   Counter& m_verbs = metrics.counter("ccov_serve_verbs_total", "");
   Counter& m_errors = metrics.counter("ccov_serve_errors_total", "");
   Gauge& m_depth = metrics.gauge("ccov_serve_pipeline_depth", "");
+  Counter& m_bytes_read = metrics.counter("ccov_serve_bytes_read_total", "");
+  Counter& m_bytes_written =
+      metrics.counter("ccov_serve_bytes_written_total", "");
+  CountingStream io(raw_io, m_bytes_read, m_bytes_written);
   m_sessions.add(1);
   m_active.add(1);
 
@@ -458,7 +523,21 @@ int serve_session(ServeStream& io, Engine& engine, const ServeConfig& config) {
     // false when the peer is gone and the session tears down quietly.
     util::OrderedPipeline pipeline(/*depth=*/2);
 
+    // Interactive sessions (one request per flush, one solver thread)
+    // have nothing to overlap: the read-ahead the pipeline buys is an
+    // empty parse, and its thread handoff is pure added latency — about
+    // half the round trip on a co-located transport. Run those jobs
+    // inline on the reader thread instead; execution order (and thus
+    // every output byte) is the same either way.
+    const bool inline_jobs = config.jobs == 1 && batch == 1;
+
     const auto enqueue_job = [&](std::function<bool()> job) {
+      if (inline_jobs) {
+        ++jobs_enqueued;
+        const bool ok = job();
+        jobs_completed.fetch_add(1, std::memory_order_relaxed);
+        return ok;
+      }
       m_depth.add(1);
       ++jobs_enqueued;
       const bool queued =
@@ -481,8 +560,103 @@ int serve_session(ServeStream& io, Engine& engine, const ServeConfig& config) {
     // batch while this one searches. Jobs run strictly in order, which
     // keeps cache-state evolution (and therefore every byte of output)
     // identical to a synchronous loop.
+    // Reused across inline flushes so an interactive session allocates
+    // no per-request scaffolding (the buffers grow once and then stay
+    // put).
+    json::JsonWriter inline_w;
+    std::vector<CoverRequest> inline_requests;
+
+    // One-line parse memo for interactive sessions: a client hammering
+    // one hot request repeats the same bytes line after line, and both
+    // the parse and the canonical key are pure functions of those
+    // bytes. Capped so a stream of huge one-off lines isn't copied into
+    // the memo for nothing.
+    constexpr std::size_t kMemoMaxLine = 512;
+    std::string memo_line;
+    ServeCommand memo_cmd;
+    CanonicalKey memo_ck;
+    bool memo_valid = false;
+    // Rendered-response memo: a hit's bytes are a pure function of
+    // (id, stored entry), so everything after the id field can be
+    // replayed as long as the entry's stamp still matches — any
+    // store/import for the key issues a new stamp and re-renders.
+    std::string memo_tail;
+    std::uint64_t memo_stamp = 0;  // entry stamps start at 1
+    // Set for the request currently in `pending` when its canonical key
+    // is already known; consumed (and cleared) by the next flush.
+    const CanonicalKey* ck_hint = nullptr;
+
     const auto enqueue_flush = [&]() -> bool {
       if (pending.empty()) return true;
+      if (inline_jobs) {
+        // Inline fast path: no std::function, no shared_ptr handoff —
+        // render straight out of `pending` on this thread. Same
+        // execution order as the pipeline path, so identical bytes.
+        ++jobs_enqueued;
+        inline_w.clear();
+        // batch == 1 means `pending` holds exactly one entry; a cached
+        // identity-frame answer renders straight out of the cache with
+        // the hit overrides (cache_hit = true, nodes = 0) and skips the
+        // cover deep copy entirely.
+        const Pending& front = pending.front();
+        const CanonicalKey* ck = ck_hint;
+        ck_hint = nullptr;
+        const auto render_hit = [&](const CoverResponse& hit,
+                                    std::uint64_t stamp) {
+          if (stamp == memo_stamp && !memo_tail.empty()) {
+            // Same stored entry as the memoized render: replay the
+            // tail, only the id differs.
+            inline_w.value_raw("{\"id\":");
+            char buf[20];
+            const auto [end, ec] =
+                std::to_chars(buf, buf + sizeof buf, front.id);
+            (void)ec;
+            inline_w.value_raw(
+                std::string_view(buf, static_cast<std::size_t>(end - buf)));
+            inline_w.value_raw(memo_tail);
+            return;
+          }
+          const std::size_t start = inline_w.str().size();
+          render_response_line(inline_w, front.id, hit,
+                               /*cache_hit=*/true, /*nodes=*/0);
+          if (ck == &memo_ck) {
+            // Tail = everything from the comma after the id field on;
+            // capture it together with the stamp it derives from.
+            const std::string_view rendered =
+                std::string_view(inline_w.str()).substr(start);
+            const std::size_t comma = rendered.find(',');
+            if (comma != std::string_view::npos) {
+              memo_tail.assign(rendered.substr(comma));
+              memo_stamp = stamp;
+            }
+          }
+        };
+        if (pending.size() == 1 && front.is_request &&
+            (ck ? engine.run_cached(front.req, *ck, render_hit)
+                : engine.run_cached(front.req, render_hit))) {
+          inline_w.value_raw("\n");  // top level: appended verbatim
+        } else {
+          inline_requests.clear();
+          for (const Pending& p : pending)
+            if (p.is_request) inline_requests.push_back(p.req);
+          const std::vector<CoverResponse> responses =
+              runner.run(inline_requests);
+          std::size_t k = 0;
+          for (const Pending& p : pending) {
+            if (p.is_request)
+              render_response_line(inline_w, p.id, responses[k++]);
+            else
+              render_error_line(inline_w, p.id, p.error);
+            inline_w.value_raw("\n");
+          }
+        }
+        pending.clear();
+        pending_requests = 0;
+        const std::string& out = inline_w.str();
+        const bool ok = io.write_all(out.data(), out.size()) && io.flush();
+        jobs_completed.fetch_add(1, std::memory_order_relaxed);
+        return ok;
+      }
       auto work = std::make_shared<std::vector<Pending>>(std::move(pending));
       pending.clear();
       pending_requests = 0;
@@ -527,6 +701,16 @@ int serve_session(ServeStream& io, Engine& engine, const ServeConfig& config) {
       }
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
       ServeCommand cmd;
+      if (inline_jobs && memo_valid && line == memo_line) {
+        // Same bytes as the previous request: reuse the parsed request
+        // and canonical key (both pure functions of the line).
+        m_requests.add(1);
+        pending.push_back({id++, true, memo_cmd.req, {}});
+        ++pending_requests;
+        ck_hint = &memo_ck;
+        alive = enqueue_flush();  // batch == 1: flush immediately
+        continue;
+      }
       std::string error;
       if (!parse_serve_line(line, &cmd, &error)) {
         m_errors.add(1);
@@ -536,6 +720,13 @@ int serve_session(ServeStream& io, Engine& engine, const ServeConfig& config) {
       }
       if (cmd.is_request()) {
         m_requests.add(1);
+        if (inline_jobs && line.size() <= kMemoMaxLine) {
+          memo_line = line;
+          memo_cmd = cmd;
+          memo_ck = canonical_request_key(cmd.req);
+          memo_valid = true;
+          ck_hint = &memo_ck;
+        }
         pending.push_back({id++, true, std::move(cmd.req), {}});
         ++pending_requests;
         if (pending_requests >= batch) alive = enqueue_flush();

@@ -1,0 +1,596 @@
+#include "ccov/engine/shm.hpp"
+
+#include "ccov/engine/net.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace ccov::engine::shm {
+
+namespace {
+
+/// Header block padded out to its own cache lines so the rings behind
+/// it start cache-line aligned.
+constexpr std::size_t kHeaderBytes =
+    (sizeof(ShmSegmentHeader) + 63) / 64 * 64;
+
+}  // namespace
+
+std::size_t segment_bytes(std::size_t ring_capacity) {
+  return kHeaderBytes + 2 * util::ShmByteRing::region_bytes(ring_capacity);
+}
+
+bool normalize_shm_name(const std::string& name, std::string* out,
+                        std::string* error) {
+  std::string body = name;
+  if (!body.empty() && body.front() == '/') body.erase(0, 1);
+  if (body.empty()) {
+    *error = "shm name must not be empty";
+    return false;
+  }
+  if (body.size() > 200) {
+    *error = "shm name too long";
+    return false;
+  }
+  if (body.find('/') != std::string::npos) {
+    *error = "shm name must not contain '/'";
+    return false;
+  }
+  *out = "/" + body;
+  error->clear();
+  return true;
+}
+
+#ifdef _WIN32
+// The shm transport is POSIX-only, like the net layer: fail cleanly so
+// the rest of the library stays usable elsewhere.
+ShmServer::ShmServer(Engine& engine, ServeConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  throw std::runtime_error("shm: not supported on this platform");
+}
+ShmServer::~ShmServer() = default;
+int ShmServer::run() { return 1; }
+void ShmServer::shutdown() {}
+bool ShmServer::shutdown_requested() const { return true; }
+void ShmServer::reset_session() {}
+ShmClient::~ShmClient() = default;
+bool ShmClient::connect(const std::string&, std::string* error) {
+  *error = "shm: not supported on this platform";
+  return false;
+}
+bool ShmClient::send(const char*, std::size_t) { return false; }
+bool ShmClient::send_line(const std::string&) { return false; }
+void ShmClient::finish() {}
+bool ShmClient::read_line(std::string*) { return false; }
+std::size_t ShmClient::drain_available(std::string*) { return 0; }
+void ShmClient::close() {}
+bool ShmClient::session_over() const { return true; }
+#else
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("shm: " + what + ": " + std::strerror(errno));
+}
+
+/// Poll interval for the blocking ring waits: long enough to stay off
+/// the CPU, short enough that shutdown and peer-death checks feel
+/// immediate. The steady-state hot path never reaches these waits.
+constexpr int kWaitMs = 50;
+/// Ring-wait timeouts between liveness probes of the peer pid (about
+/// one kill(pid, 0) per second of idle blocking).
+constexpr int kProbeEvery = 20;
+
+bool pid_alive(std::uint32_t pid) {
+  if (pid == 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+}
+
+/// ServeStream over the two rings, server side: reads requests the
+/// client produced, writes responses for it to consume. Tolerates the
+/// session's one-reader-plus-one-writer threading (different rings,
+/// each SPSC with this side holding exactly one role).
+class ShmServerStream final : public ServeStream {
+ public:
+  ShmServerStream(ShmSegmentHeader* header, util::ShmByteRing request_ring,
+                  util::ShmByteRing response_ring,
+                  std::function<bool()> shutdown_requested, Counter& vanished)
+      : header_(header),
+        req_(request_ring),
+        resp_(response_ring),
+        shutdown_requested_(std::move(shutdown_requested)),
+        vanished_(vanished) {}
+
+  std::ptrdiff_t read_some(char* buf, std::size_t n) override {
+    int idle = 0;
+    for (;;) {
+      const std::size_t r = req_.try_read(buf, n);
+      if (r > 0) return static_cast<std::ptrdiff_t>(r);
+      // The client publishes its last bytes *before* raising eof, so
+      // one more read after observing the flag cannot miss data.
+      if (header_->client_eof.load(std::memory_order_acquire) != 0) {
+        const std::size_t last = req_.try_read(buf, n);
+        return static_cast<std::ptrdiff_t>(last);
+      }
+      // Cheap in-segment flag every pass; the poll(2)-backed callback
+      // (self-pipe promotion) only when a wait actually timed out, so a
+      // busy session pays zero shutdown syscalls per round trip.
+      if (header_->shutdown.load(std::memory_order_acquire) != 0) return 0;
+      const std::uint32_t pid =
+          header_->client_pid.load(std::memory_order_acquire);
+      if (pid == 0) return 0;  // client detached without eof: end of stream
+      if (++idle >= kProbeEvery) {
+        idle = 0;
+        if (!pid_alive(pid)) {
+          // The client vanished mid-session: end the stream so the
+          // session winds down and the server frees the slot, instead
+          // of wedging in this read forever.
+          vanished_.add(1);
+          return 0;
+        }
+      }
+      if (!req_.wait_readable(kWaitMs) && shutdown_requested_()) return 0;
+    }
+  }
+
+  bool write_all(const char* data, std::size_t n) override {
+    std::size_t off = 0;
+    int idle = 0;
+    int grace_ms = -1;  // bounded only once shutdown was observed
+    while (off < n) {
+      const std::size_t w = resp_.try_write(data + off, n - off);
+      if (w > 0) {
+        off += w;
+        idle = 0;
+        continue;
+      }
+      const std::uint32_t pid =
+          header_->client_pid.load(std::memory_order_acquire);
+      if (pid == 0) return false;  // nobody left to read these bytes
+      if (++idle >= kProbeEvery) {
+        idle = 0;
+        if (!pid_alive(pid)) {
+          vanished_.add(1);
+          return false;
+        }
+      }
+      if (!resp_.wait_writable(kWaitMs) && shutdown_requested_()) {
+        // Responses already owed still get written, but a client that
+        // stopped draining cannot hang the shutdown forever. Each pass
+        // through here burned a full kWaitMs timeout.
+        if (grace_ms < 0) grace_ms = net::SocketStream::kShutdownWriteGraceMs;
+        if (grace_ms == 0) return false;
+        grace_ms -= std::min(grace_ms, kWaitMs);
+      }
+    }
+    return true;
+  }
+
+ private:
+  ShmSegmentHeader* header_;
+  util::ShmByteRing req_;
+  util::ShmByteRing resp_;
+  std::function<bool()> shutdown_requested_;
+  Counter& vanished_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShmServer
+// ---------------------------------------------------------------------------
+
+ShmServer::ShmServer(Engine& engine, ServeConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  std::string err;
+  if (!normalize_shm_name(config_.shm_name, &name_, &err))
+    throw std::runtime_error("shm: " + err);
+  if (!util::ShmByteRing::valid_capacity(config_.shm_ring_bytes))
+    throw std::runtime_error(
+        "shm: ring capacity must be a power of two >= 64 bytes");
+  size_ = segment_bytes(config_.shm_ring_bytes);
+
+  int fd = ::shm_open(name_.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (fd < 0 && errno == EEXIST) {
+    // A leftover segment: recycle it only when the server that made it
+    // is gone — never steal a live server's name.
+    const int old = ::shm_open(name_.c_str(), O_RDWR, 0600);
+    if (old >= 0) {
+      struct stat st{};
+      bool stale = true;
+      if (::fstat(old, &st) == 0 &&
+          st.st_size >= static_cast<off_t>(sizeof(ShmSegmentHeader))) {
+        void* peek = ::mmap(nullptr, sizeof(ShmSegmentHeader),
+                            PROT_READ | PROT_WRITE, MAP_SHARED, old, 0);
+        if (peek != MAP_FAILED) {
+          auto* h = static_cast<ShmSegmentHeader*>(peek);
+          if (h->magic.load(std::memory_order_acquire) == kShmMagic &&
+              pid_alive(h->server_pid.load(std::memory_order_acquire)))
+            stale = false;
+          ::munmap(peek, sizeof(ShmSegmentHeader));
+        }
+      }
+      ::close(old);
+      if (!stale)
+        throw std::runtime_error("shm: segment '" + name_ +
+                                 "' is already being served");
+      ::shm_unlink(name_.c_str());
+      fd = ::shm_open(name_.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+    }
+  }
+  if (fd < 0) throw_errno("shm_open '" + name_ + "'");
+  if (::ftruncate(fd, static_cast<off_t>(size_)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::shm_unlink(name_.c_str());
+    errno = saved;
+    throw_errno("ftruncate");
+  }
+  mem_ = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (mem_ == MAP_FAILED) {
+    mem_ = nullptr;
+    ::shm_unlink(name_.c_str());
+    throw_errno("mmap");
+  }
+
+  char* base = static_cast<char*>(mem_);
+  header_ = new (base) ShmSegmentHeader();
+  header_->magic.store(0, std::memory_order_relaxed);
+  header_->version = kShmVersion;
+  header_->ring_capacity = static_cast<std::uint32_t>(config_.shm_ring_bytes);
+  header_->server_pid.store(static_cast<std::uint32_t>(::getpid()),
+                            std::memory_order_relaxed);
+  header_->client_pid.store(0, std::memory_order_relaxed);
+  header_->epoch.store(0, std::memory_order_relaxed);
+  header_->client_eof.store(0, std::memory_order_relaxed);
+  header_->server_eof.store(0, std::memory_order_relaxed);
+  header_->shutdown.store(0, std::memory_order_relaxed);
+  const std::size_t ring_bytes =
+      util::ShmByteRing::region_bytes(config_.shm_ring_bytes);
+  request_ring_ =
+      util::ShmByteRing::init(base + kHeaderBytes, config_.shm_ring_bytes);
+  response_ring_ = util::ShmByteRing::init(base + kHeaderBytes + ring_bytes,
+                                           config_.shm_ring_bytes);
+  // Publish the magic last: a client attaching mid-construction sees a
+  // zero magic and rejects the segment instead of racing the init.
+  header_->magic.store(kShmMagic, std::memory_order_release);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    const int saved = errno;
+    ::munmap(mem_, size_);
+    mem_ = nullptr;
+    ::shm_unlink(name_.c_str());
+    errno = saved;
+    throw_errno("pipe");
+  }
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+}
+
+ShmServer::~ShmServer() {
+  shutdown();
+  if (mem_) {
+    ::munmap(mem_, size_);
+    mem_ = nullptr;
+    ::shm_unlink(name_.c_str());
+  }
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+}
+
+void ShmServer::shutdown() {
+  if (header_) {
+    header_->shutdown.store(1, std::memory_order_release);
+    request_ring_.wake_all();
+    response_ring_.wake_all();
+  }
+  if (wake_wr_ >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t rc = ::write(wake_wr_, &byte, 1);
+  }
+}
+
+bool ShmServer::shutdown_requested() const {
+  if (header_->shutdown.load(std::memory_order_acquire) != 0) return true;
+  // The signal path only writes the self-pipe byte (async-signal-safe);
+  // promote it to the header flag here so both sides observe it.
+  pollfd pfd{wake_rd_, POLLIN, 0};
+  if (::poll(&pfd, 1, 0) > 0 && (pfd.revents & (POLLIN | POLLERR | POLLHUP))) {
+    const_cast<ShmServer*>(this)->shutdown();
+    return true;
+  }
+  return false;
+}
+
+void ShmServer::reset_session() {
+  // Fence the slot with kSlotResetting before touching the rings: a
+  // straggling live client keeps the slot until it detaches or dies
+  // (re-initializing rings under a writer would tear the stream), and
+  // the sentinel keeps a *new* client from claiming mid-rebuild. A
+  // client that still squeezes into the clean-detach window sees
+  // server_eof set and backs out of its claim.
+  for (;;) {
+    std::uint32_t pid = header_->client_pid.load(std::memory_order_acquire);
+    if (pid == kSlotResetting) break;
+    if (pid == 0 || !pid_alive(pid)) {
+      if (header_->client_pid.compare_exchange_strong(
+              pid, kSlotResetting, std::memory_order_acq_rel))
+        break;
+      continue;  // lost a race with a claim or detach; re-evaluate
+    }
+    if (shutdown_requested()) return;  // teardown unlinks the segment anyway
+    pollfd pfd{wake_rd_, POLLIN, 0};
+    ::poll(&pfd, 1, kWaitMs);
+  }
+  // Bump the epoch first so a stale client's next operation fails, then
+  // empty the rings and finally reopen the slot. reset() (all-atomic)
+  // rather than a fresh init(): shutdown() may wake_all() the rings
+  // from another thread at any moment, and overlapping that with
+  // init()'s plain stores would be a data race.
+  header_->epoch.fetch_add(1, std::memory_order_acq_rel);
+  request_ring_.reset();
+  response_ring_.reset();
+  header_->client_eof.store(0, std::memory_order_relaxed);
+  header_->server_eof.store(0, std::memory_order_relaxed);
+  header_->client_pid.store(0, std::memory_order_release);
+}
+
+int ShmServer::run() {
+  Counter& sessions = engine_.metrics().counter(
+      "ccov_shm_sessions_total", "shm client sessions served");
+  Counter& vanished = engine_.metrics().counter(
+      "ccov_shm_clients_vanished_total",
+      "shm sessions torn down because the client process died");
+  while (!shutdown_requested()) {
+    const std::uint32_t pid =
+        header_->client_pid.load(std::memory_order_acquire);
+    if (pid == 0 || pid == kSlotResetting) {
+      // Idle: no client holds the slot. Claim latency is off the hot
+      // path (a session does millions of requests per claim), so a
+      // plain poll tick is plenty.
+      pollfd pfd{wake_rd_, POLLIN, 0};
+      ::poll(&pfd, 1, 10);
+      continue;
+    }
+    sessions.add(1);
+    ShmServerStream stream(header_, request_ring_, response_ring_,
+                           [this] { return shutdown_requested(); }, vanished);
+    serve_session(stream, engine_, config_);
+    // Every owed response byte is in the ring; tell the client the
+    // stream is complete, then recycle the slot for the next client.
+    header_->server_eof.store(1, std::memory_order_release);
+    response_ring_.wake_all();
+    reset_session();
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// ShmClient
+// ---------------------------------------------------------------------------
+
+ShmClient::~ShmClient() { close(); }
+
+bool ShmClient::connect(const std::string& name, std::string* error) {
+  close();
+  std::string normalized;
+  if (!normalize_shm_name(name, &normalized, error)) return false;
+  const int fd = ::shm_open(normalized.c_str(), O_RDWR, 0600);
+  if (fd < 0) {
+    *error = "cannot open shm segment '" + normalized +
+             "': " + std::strerror(errno);
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 ||
+      st.st_size < static_cast<off_t>(sizeof(ShmSegmentHeader))) {
+    ::close(fd);
+    *error = "shm segment '" + normalized + "' is truncated";
+    return false;
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  void* mem = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (mem == MAP_FAILED) {
+    *error = std::string("mmap: ") + std::strerror(errno);
+    return false;
+  }
+  auto* header = static_cast<ShmSegmentHeader*>(mem);
+  // The handshake: magic, version and capacity must all check out and
+  // the mapped size must cover what the header claims — anything else
+  // is a torn init, a foreign segment, or a corrupted one. The acquire
+  // on the magic pairs with the server's release-store after init, so
+  // a valid magic guarantees the rest of the header is visible.
+  const bool magic_ok =
+      header->magic.load(std::memory_order_acquire) == kShmMagic;
+  const std::size_t cap = magic_ok ? header->ring_capacity : 0;
+  if (!magic_ok) {
+    *error = "shm segment '" + normalized + "' has a bad magic";
+  } else if (header->version != kShmVersion) {
+    *error = "shm segment '" + normalized + "' speaks protocol version " +
+             std::to_string(header->version) + ", expected " +
+             std::to_string(kShmVersion);
+  } else if (!util::ShmByteRing::valid_capacity(cap)) {
+    *error = "shm segment '" + normalized + "' has a bad ring capacity";
+  } else if (size < segment_bytes(cap)) {
+    *error = "shm segment '" + normalized + "' is smaller than its header "
+             "claims";
+  } else if (header->shutdown.load(std::memory_order_acquire) != 0) {
+    *error = "shm segment '" + normalized + "' is shutting down";
+  } else {
+    error->clear();
+  }
+  if (!error->empty()) {
+    ::munmap(mem, size);
+    return false;
+  }
+
+  // Claim the client slot: exactly one client at a time (the rings are
+  // SPSC). A dead holder is the server's job to reap — stealing here
+  // would race its own liveness probe.
+  std::uint32_t expected = 0;
+  const auto pid = static_cast<std::uint32_t>(::getpid());
+  if (!header->client_pid.compare_exchange_strong(
+          expected, pid, std::memory_order_acq_rel)) {
+    *error = "shm segment '" + normalized + "' is busy (client pid " +
+             std::to_string(expected) + " holds the slot)";
+    ::munmap(mem, size);
+    return false;
+  }
+  if (header->server_eof.load(std::memory_order_acquire) != 0 ||
+      header->client_eof.load(std::memory_order_acquire) != 0) {
+    // We won a claim race against the tail of the previous session:
+    // either the server's between-sessions reset hasn't finished
+    // (server_eof still up), or the previous client finished and
+    // detached before the server even noticed the EOF (client_eof
+    // still up — joining now would attach us to a session that is
+    // about to be torn down unanswered). Both flags are cleared only
+    // by the reset, so back out; the caller may retry once it runs.
+    std::uint32_t self = pid;
+    header->client_pid.compare_exchange_strong(self, 0,
+                                               std::memory_order_acq_rel);
+    *error = "shm segment '" + normalized + "' is busy (session reset)";
+    ::munmap(mem, size);
+    return false;
+  }
+
+  mem_ = mem;
+  size_ = size;
+  header_ = header;
+  epoch_ = header->epoch.load(std::memory_order_acquire);
+  char* base = static_cast<char*>(mem);
+  const std::size_t ring_bytes = util::ShmByteRing::region_bytes(cap);
+  request_ring_ = util::ShmByteRing::attach(base + kHeaderBytes, cap);
+  response_ring_ =
+      util::ShmByteRing::attach(base + kHeaderBytes + ring_bytes, cap);
+  rx_.clear();
+  return true;
+}
+
+bool ShmClient::session_over() const {
+  return header_->shutdown.load(std::memory_order_acquire) != 0 ||
+         header_->epoch.load(std::memory_order_acquire) != epoch_;
+}
+
+bool ShmClient::ok() const {
+  return connected() && !session_over() &&
+         header_->server_eof.load(std::memory_order_acquire) == 0 &&
+         pid_alive(header_->server_pid.load(std::memory_order_acquire));
+}
+
+bool ShmClient::send(const char* data, std::size_t n) {
+  if (!connected()) return false;
+  std::size_t off = 0;
+  while (off < n) {
+    const std::size_t w = request_ring_.try_write(data + off, n - off);
+    if (w > 0) {
+      off += w;
+      continue;
+    }
+    if (!ok()) return false;
+    request_ring_.wait_writable(kWaitMs);
+  }
+  return true;
+}
+
+std::size_t ShmClient::try_send(const char* data, std::size_t n) {
+  if (!connected()) return 0;
+  return request_ring_.try_write(data, n);
+}
+
+void ShmClient::wait_send(int timeout_ms) {
+  if (connected()) request_ring_.wait_writable(timeout_ms);
+}
+
+bool ShmClient::send_line(const std::string& line) {
+  // Stage line + '\n' into one reused buffer so the ring sees a single
+  // write — one publish (and at most one futex wake) per request
+  // instead of two.
+  tx_.assign(line);
+  tx_.push_back('\n');
+  return send(tx_.data(), tx_.size());
+}
+
+void ShmClient::finish() {
+  if (!connected()) return;
+  header_->client_eof.store(1, std::memory_order_release);
+  request_ring_.wake_all();
+}
+
+std::size_t ShmClient::drain_available(std::string* out) {
+  if (!connected()) return 0;
+  std::size_t total = 0;
+  for (;;) {
+    // Size the tail by what is readable right now and copy straight
+    // from the ring into the caller's buffer — no bounce buffer.
+    const std::size_t avail = response_ring_.readable();
+    if (avail == 0) break;
+    const std::size_t old = out->size();
+    out->resize(old + avail);
+    const std::size_t r = response_ring_.try_read(out->data() + old, avail);
+    out->resize(old + r);
+    total += r;
+  }
+  return total;
+}
+
+bool ShmClient::read_line(std::string* line) {
+  if (!connected()) return false;
+  for (;;) {
+    const std::size_t nl = rx_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(rx_, 0, nl);
+      rx_.erase(0, nl + 1);
+      return true;
+    }
+    if (drain_available(&rx_) > 0) continue;
+    // The server publishes the last response bytes before raising
+    // server_eof, so one more drain after seeing the flag is complete.
+    if (header_->server_eof.load(std::memory_order_acquire) != 0) {
+      if (drain_available(&rx_) > 0) continue;
+      return false;
+    }
+    if (session_over()) return false;
+    // kill(2)-probe the server only when a wait timed out: a live
+    // server answers well inside kWaitMs, so the steady state pays no
+    // liveness syscall per round trip, while a crashed one is still
+    // detected within a tick.
+    if (!response_ring_.wait_readable(kWaitMs) &&
+        !pid_alive(header_->server_pid.load(std::memory_order_acquire)))
+      return false;
+  }
+}
+
+void ShmClient::close() {
+  if (!header_) return;
+  const auto pid = static_cast<std::uint32_t>(::getpid());
+  std::uint32_t expected = pid;
+  header_->client_pid.compare_exchange_strong(expected, 0,
+                                              std::memory_order_acq_rel);
+  // Wake the server's request-ring wait so it notices the detach now
+  // rather than at the next probe tick.
+  request_ring_.wake_all();
+  ::munmap(mem_, size_);
+  mem_ = nullptr;
+  size_ = 0;
+  header_ = nullptr;
+}
+
+#endif  // _WIN32
+
+}  // namespace ccov::engine::shm

@@ -5,7 +5,15 @@ set -euo pipefail
 
 CCOV=${1:?usage: cli_smoke.sh <path-to-ccov>}
 TMPDIR_SMOKE=$(mktemp -d)
-trap 'rm -rf "${TMPDIR_SMOKE}"' EXIT
+# Unique per run so parallel ctest invocations don't share a segment. The
+# server shm_unlink's it on a clean exit; the trap covers failure paths,
+# where an orphaned /dev/shm file would otherwise outlive the test.
+SHM_NAME="ccov-smoke-$$"
+cleanup() {
+  rm -rf "${TMPDIR_SMOKE}"
+  rm -f "/dev/shm/${SHM_NAME}"
+}
+trap cleanup EXIT
 COVER_FILE="${TMPDIR_SMOKE}/cover.txt"
 
 fail() { echo "cli_smoke: FAIL: $*" >&2; exit 1; }
@@ -272,6 +280,27 @@ grep -q "ccov_cache_entries" "${METRICS_RAW}" \
 
 kill -TERM "${HTTP_PID}"
 wait "${HTTP_PID}" || fail "http server should exit 0 on SIGTERM"
+
+echo "== ccov serve --shm (shared memory, byte-identical to stdio)"
+SHM_ERR="${TMPDIR_SMOKE}/shm.err"
+"${CCOV}" serve --shm "${SHM_NAME}" 2>"${SHM_ERR}" &
+SHM_PID=$!
+for _ in $(seq 100); do
+  grep -q "shm serving on" "${SHM_ERR}" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "shm serving on" "${SHM_ERR}" || fail "shm server did not come up"
+[ -e "/dev/shm/${SHM_NAME}" ] || fail "shm segment missing while serving"
+
+SHM_OUT="${TMPDIR_SMOKE}/shm.jsonl"
+"${CCOV}" client --shm "${SHM_NAME}" < "${REQS}" > "${SHM_OUT}" \
+  || fail "shm client round trip failed"
+cmp -s "${SERVE1}" "${SHM_OUT}" \
+  || fail "shm responses should be byte-identical to stdio serve"
+
+kill -TERM "${SHM_PID}"
+wait "${SHM_PID}" || fail "shm server should exit 0 on SIGTERM"
+[ ! -e "/dev/shm/${SHM_NAME}" ] || fail "shm segment should be unlinked on exit"
 
 echo "== ccov cache stats / load / save / clear"
 "${CCOV}" cache stats --cache-file "${SNAP}" | grep -q "entries: 1" \

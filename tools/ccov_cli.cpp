@@ -9,9 +9,12 @@
 //   ccov run      --algo solve --n 9          any registered algorithm
 //   ccov sweep    --n-from 3 --n-to 15 --algo construct --jobs 4
 //                                             batch sweep, CSV/JSON out
-//   ccov serve    [--listen H:P | --http H:P] [--jobs K] [--batch B]
-//                 [--cache-file F]            JSONL serve loop (stdio, TCP
-//                                             or HTTP with /metrics)
+//   ccov serve    [--listen H:P | --http H:P | --shm NAME] [--jobs K]
+//                 [--batch B] [--cache-file F] JSONL serve loop (stdio, TCP,
+//                                             HTTP with /metrics, or a
+//                                             shared-memory segment)
+//   ccov client   --shm NAME                  JSONL client for a --shm server
+//                                             (stdin -> segment -> stdout)
 //   ccov cache    stats|save|load|clear --cache-file F
 //                                             snapshot maintenance
 //   ccov algos                                list registered algorithms
@@ -37,9 +40,11 @@
 #include "ccov/engine/http.hpp"
 #include "ccov/engine/net.hpp"
 #include "ccov/engine/serve.hpp"
+#include "ccov/engine/shm.hpp"
 #include "ccov/engine/store.hpp"
 #include "ccov/protection/simulator.hpp"
 #include "ccov/util/cli.hpp"
+#include "ccov/util/shm_ring.hpp"
 #include "ccov/util/table.hpp"
 #include "ccov/wdm/network.hpp"
 
@@ -70,20 +75,27 @@ void print_usage(std::ostream& os) {
         "            [--format csv|json|table] [--out F] [--cache-file F]\n"
         "                                           batch sweep via the "
         "engine\n"
-        "  serve     [--listen HOST:PORT | --http HOST:PORT] [--jobs K]\n"
-        "            [--batch B] [--cache-file F] [--cache-capacity C]\n"
+        "  serve     [--listen HOST:PORT | --http HOST:PORT | --shm NAME]\n"
+        "            [--jobs K] [--batch B] [--cache-file F] "
+        "[--cache-capacity C]\n"
         "            [--cache-shards S] [--max-clients M] [--max-line "
         "BYTES]\n"
-        "            [--max-body BYTES]\n"
+        "            [--max-body BYTES] [--shm-ring BYTES]\n"
         "                                           JSONL serve loop: stdio "
         "by default,\n"
         "                                           TCP with --listen, HTTP "
         "with --http\n"
         "                                           (POST /v1/batch, GET "
-        "/metrics;\n"
+        "/metrics),\n"
+        "                                           shared memory with "
+        "--shm;\n"
         "                                           SIGINT/SIGTERM shut down "
         "cleanly\n"
-        "                                           and save the store)\n"
+        "                                           and save the store\n"
+        "  client    --shm NAME                     pipe JSONL from stdin "
+        "through a\n"
+        "                                           --shm server, responses "
+        "to stdout\n"
         "  cache     stats|save|load|clear --cache-file F [sweep flags]\n"
         "                                           inspect / warm / verify "
         "/ reset a snapshot\n"
@@ -313,10 +325,10 @@ int cmd_sweep(const ccov::util::Cli& cli) {
 }
 
 /// The single place serve flags become a ServeConfig — every front end
-/// (stdio, --listen, --http) consumes the result.
-ccov::engine::ServeConfig parse_serve_config(const ccov::util::Cli& cli,
-                                             const std::string& endpoint,
-                                             const std::string& flag) {
+/// (stdio, --listen, --http, --shm) consumes the result. The three
+/// transport flags form one mutually-exclusive group: naming more than
+/// one raises a single coherent error listing exactly what was given.
+ccov::engine::ServeConfig parse_serve_config(const ccov::util::Cli& cli) {
   ccov::engine::ServeConfig config;
   config.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
   config.batch = static_cast<std::size_t>(cli.get_int("batch", 1));
@@ -327,24 +339,48 @@ ccov::engine::ServeConfig parse_serve_config(const ccov::util::Cli& cli,
       static_cast<std::size_t>(cli.get_int("max-clients", 64));
   config.max_body_bytes = static_cast<std::size_t>(cli.get_int(
       "max-body", static_cast<std::int64_t>(config.max_body_bytes)));
-  if (!endpoint.empty()) {
-    std::string err;
-    if (!ccov::engine::net::parse_endpoint(endpoint, &config.host,
-                                           &config.port, &err))
-      throw std::invalid_argument("--" + flag + " '" + endpoint +
-                                  "': " + err);
+
+  const struct {
+    const char* flag;
+    std::string value;
+  } transports[] = {{"listen", cli.get("listen", "")},
+                    {"http", cli.get("http", "")},
+                    {"shm", cli.get("shm", "")}};
+  std::vector<std::string> given;
+  for (const auto& t : transports)
+    if (!t.value.empty()) given.push_back(std::string("--") + t.flag);
+  if (given.size() > 1) {
+    std::string got = given[0];
+    for (std::size_t i = 1; i < given.size(); ++i)
+      got += (i + 1 == given.size() ? " and " : ", ") + given[i];
+    throw std::invalid_argument(
+        "--listen, --http and --shm select the transport and are mutually "
+        "exclusive (got " + got + ")");
   }
+
+  for (const auto& t : transports) {
+    if (t.value.empty() || t.flag == std::string("shm")) continue;
+    std::string err;
+    if (!ccov::engine::net::parse_endpoint(t.value, &config.host,
+                                           &config.port, &err))
+      throw std::invalid_argument("--" + std::string(t.flag) + " '" +
+                                  t.value + "': " + err);
+  }
+  config.shm_name = cli.get("shm", "");
+  config.shm_ring_bytes = static_cast<std::size_t>(cli.get_int(
+      "shm-ring", static_cast<std::int64_t>(config.shm_ring_bytes)));
+  if (!config.shm_name.empty() &&
+      !ccov::util::ShmByteRing::valid_capacity(config.shm_ring_bytes))
+    throw std::invalid_argument(
+        "--shm-ring must be a power of two >= 64 bytes");
   return config;
 }
 
 int cmd_serve(const ccov::util::Cli& cli) {
-  const std::string listen = cli.get("listen", "");
-  const std::string http = cli.get("http", "");
-  if (!listen.empty() && !http.empty())
-    throw std::invalid_argument(
-        "--listen and --http are mutually exclusive");
-  const ccov::engine::ServeConfig config = parse_serve_config(
-      cli, http.empty() ? listen : http, http.empty() ? "listen" : "http");
+  const ccov::engine::ServeConfig config = parse_serve_config(cli);
+  const bool listen = !cli.get("listen", "").empty();
+  const bool http = !cli.get("http", "").empty();
+  const bool shm = !config.shm_name.empty();
 
   ccov::engine::EngineOptions eopts;
   eopts.cache_capacity = std::max(
@@ -362,17 +398,22 @@ int cmd_serve(const ccov::util::Cli& cli) {
   }
 
   int rc = 0;
-  if (!http.empty()) {
+  if (http) {
     ccov::engine::net::HttpServer server(engine, config);
     ccov::engine::net::install_signal_shutdown(server.wake_fd());
     std::cerr << "serve: http listening on " << server.host() << ":"
               << server.port() << "\n";
     rc = server.run();
-  } else if (!listen.empty()) {
+  } else if (listen) {
     ccov::engine::net::ServeServer server(engine, config);
     ccov::engine::net::install_signal_shutdown(server.wake_fd());
     std::cerr << "serve: listening on " << server.host() << ":"
               << server.port() << "\n";
+    rc = server.run();
+  } else if (shm) {
+    ccov::engine::shm::ShmServer server(engine, config);
+    ccov::engine::net::install_signal_shutdown(server.wake_fd());
+    std::cerr << "serve: shm serving on " << server.name() << "\n";
     rc = server.run();
   } else {
     // Unsynchronized streams let the stdio transport's read_some drain
@@ -391,6 +432,67 @@ int cmd_serve(const ccov::util::Cli& cli) {
               << config.cache_file << "\n";
   }
   return rc;
+}
+
+/// `ccov client --shm NAME`: the shared-memory analog of bash's
+/// /dev/tcp — pump JSONL from stdin through a served segment and print
+/// the response lines to stdout. Sends and receives are interleaved so
+/// a batch larger than the rings cannot deadlock on backpressure.
+int cmd_client(const ccov::util::Cli& cli) {
+  const std::string name = cli.get("shm", "");
+  if (name.empty()) {
+    std::cerr << "client: --shm NAME required\n";
+    return 1;
+  }
+  ccov::engine::shm::ShmClient client;
+  std::string error;
+  // A short retry loop: the claim can transiently lose against the
+  // server's between-sessions reset.
+  for (int attempt = 0; !client.connect(name, &error); ++attempt) {
+    if (attempt >= 100 ||
+        error.find("busy (session reset)") == std::string::npos) {
+      std::cerr << "client: " << error << "\n";
+      return 1;
+    }
+    const timespec ts{0, 10 * 1000 * 1000};
+    ::nanosleep(&ts, nullptr);
+  }
+
+  std::string rx;
+  const auto pump_out = [&] {
+    client.drain_available(&rx);
+    std::size_t nl;
+    while ((nl = rx.find('\n')) != std::string::npos) {
+      std::cout.write(rx.data(), static_cast<std::streamsize>(nl + 1));
+      rx.erase(0, nl + 1);
+    }
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+      off += client.try_send(line.data() + off, line.size() - off);
+      // Drain responses between partial sends: with both rings bounded,
+      // one side must always keep consuming or a big batch deadlocks.
+      pump_out();
+      if (off < line.size()) {
+        if (!client.ok()) {
+          std::cerr << "client: server went away mid-send\n";
+          return 1;
+        }
+        client.wait_send(50);
+      }
+    }
+  }
+  client.finish();
+  std::string resp;
+  while (client.read_line(&resp)) std::cout << resp << "\n";
+  pump_out();
+  std::cout.flush();
+  client.close();
+  return 0;
 }
 
 int cmd_cache(const ccov::util::Cli& cli) {
@@ -496,6 +598,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(cli);
     if (cmd == "sweep") return cmd_sweep(cli);
     if (cmd == "serve") return cmd_serve(cli);
+    if (cmd == "client") return cmd_client(cli);
     if (cmd == "cache") return cmd_cache(cli);
     if (cmd == "algos") return cmd_algos();
   } catch (const std::exception& e) {
