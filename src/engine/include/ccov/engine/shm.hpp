@@ -16,16 +16,19 @@
 ///   [response ring control + data]   server writes, client reads
 ///
 /// Connection model: one client at a time (the rings are SPSC). A
-/// client claims the slot by CAS-ing client_pid from 0 to its own pid;
-/// the server runs one serve_session over the rings, and when the
-/// session ends (client set client_eof and the request ring drained,
-/// client vanished, or shutdown) it resets the rings, bumps the epoch
-/// and re-opens the slot. Liveness is pid-based: the server probes
-/// kill(pid, 0) while idle-waiting, so a client that died without
-/// detaching frees the slot instead of wedging the server; the epoch
-/// lets a stale client discover its session was torn down. A second
-/// concurrent client fails its claim with "busy" instead of corrupting
-/// the stream.
+/// client claims the slot by CAS-ing its identity (pid plus a
+/// start-time token, packed into one word so the claim is a single
+/// atomic publish) from 0; the server runs one serve_session over the
+/// rings, and when the session ends (client set client_eof and the
+/// request ring drained, client vanished, or shutdown) it resets the
+/// rings, bumps the epoch and re-opens the slot. Liveness probes pair
+/// kill(pid, 0) with the process start time from /proc/<pid>/stat, so
+/// a dead peer whose pid was recycled by an unrelated process is still
+/// detected — a vanished client frees the slot instead of wedging the
+/// server, and a client notices a crashed server even if its pid came
+/// back; the epoch lets a stale client discover its session was torn
+/// down. A second concurrent client fails its claim with "busy"
+/// instead of corrupting the stream.
 ///
 /// Shutdown mirrors net.hpp: ShmServer exposes a self-pipe wake_fd()
 /// for install_signal_shutdown; on shutdown it raises the header flag,
@@ -43,9 +46,16 @@ namespace ccov::engine::shm {
 
 inline constexpr std::uint64_t kShmMagic = 0x31646873766f6363ULL;  // "ccovshd1"
 inline constexpr std::uint32_t kShmVersion = 1;
-/// client_pid sentinel held by the server while it rebuilds the rings
+/// client_slot sentinel held by the server while it rebuilds the rings
 /// between sessions (pid 1 is never a transport client).
-inline constexpr std::uint32_t kSlotResetting = 1;
+inline constexpr std::uint64_t kSlotResetting = 1;
+
+/// Process start time (Linux: the starttime field of /proc/<pid>/stat,
+/// in clock ticks since boot), or 0 when it cannot be determined —
+/// non-Linux platforms, a vanished pid, an unreadable /proc. Paired
+/// with the pid in every liveness probe so a recycled pid belonging to
+/// an unrelated process is not mistaken for a live peer.
+std::uint64_t proc_start_time(std::uint32_t pid);
 
 /// Handshake + client slot at the front of the segment. Standard
 /// layout; every mutable field is a lock-free atomic because the two
@@ -57,11 +67,18 @@ struct ShmSegmentHeader {
   std::uint32_t version = 0;        ///< kShmVersion
   std::uint32_t ring_capacity = 0;  ///< data bytes per ring, power of two
   std::atomic<std::uint32_t> server_pid;
+  /// proc_start_time of server_pid, written once before the magic is
+  /// published. Clients fold it into their server-liveness probes so a
+  /// recycled server pid reads as dead, not alive.
+  std::uint64_t server_start = 0;
   /// The client slot: 0 = free, kSlotResetting while the server
-  /// rebuilds the rings between sessions, otherwise the client's pid.
-  /// Claimed with a CAS by exactly one client; cleared by a clean
-  /// detach or by the server when the pid is gone.
-  std::atomic<std::uint32_t> client_pid;
+  /// rebuilds the rings between sessions, otherwise the claimant's
+  /// identity packed as (start-time token << 32) | pid — one word so
+  /// pid and token publish atomically in the claiming CAS (a separate
+  /// token field could be observed stale between the CAS and its
+  /// store, reaping a live client). Claimed by exactly one client;
+  /// cleared by a clean detach or by the server when the peer is gone.
+  std::atomic<std::uint64_t> client_slot;
   /// Bumped by the server every time it resets the rings for a new
   /// session; a client that sees it change knows its session is over.
   std::atomic<std::uint32_t> epoch;
@@ -123,6 +140,15 @@ class ShmServer {
   ShmSegmentHeader* header_ = nullptr;
   util::ShmByteRing request_ring_;
   util::ShmByteRing response_ring_;
+  /// Segment fd, held open (with an exclusive flock) for the server's
+  /// lifetime: the lock is how a second server distinguishes "live,
+  /// possibly mid-constructor" from "stale" without a TOCTOU window.
+  int shm_fd_ = -1;
+  /// Identity of the inode we created — the destructor unlinks the
+  /// name only while it still resolves to this segment, never a
+  /// successor's.
+  std::uint64_t shm_dev_ = 0;
+  std::uint64_t shm_ino_ = 0;
   int wake_rd_ = -1;
   int wake_wr_ = -1;
 };
@@ -180,6 +206,22 @@ class ShmClient {
   /// on two full rings.
   std::size_t drain_available(std::string* out);
 
+  /// Blocking drain into the caller's buffer: appends response bytes
+  /// as they arrive and returns the number appended, or 0 at
+  /// end-of-stream (server finished the session, died, shut down, or
+  /// reset the epoch — distinguish via server_finished()). A pumping
+  /// client that mixed drain_available with read_line would split a
+  /// response line across two buffers; this keeps the whole session in
+  /// one.
+  std::size_t read_some(std::string* out);
+
+  /// True once the server marked the response stream complete
+  /// (server_eof): every owed byte has been published. False after an
+  /// abort — server death, shutdown, epoch reset — where responses may
+  /// be missing. Stable while connected: the server cannot recycle the
+  /// session (which clears the flag) while this client holds the slot.
+  bool server_finished() const;
+
   /// Release the slot and unmap. Idempotent.
   void close();
 
@@ -192,6 +234,7 @@ class ShmClient {
   util::ShmByteRing request_ring_;
   util::ShmByteRing response_ring_;
   std::uint32_t epoch_ = 0;
+  std::uint64_t slot_ = 0;  ///< packed identity this client claimed with
   std::string rx_;  ///< bytes drained but not yet returned as lines
   std::string tx_;  ///< reused send_line staging buffer (line + '\n')
 };

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <new>
 #include <stdexcept>
@@ -13,6 +15,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/file.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -54,6 +57,38 @@ bool normalize_shm_name(const std::string& name, std::string* out,
   return true;
 }
 
+std::uint64_t proc_start_time(std::uint32_t pid) {
+#ifdef __linux__
+  // Field 22 of /proc/<pid>/stat (starttime, clock ticks since boot).
+  // comm (field 2) may itself contain spaces and parentheses, so the
+  // field scan starts from the *last* ')'.
+  char path[48];
+  std::snprintf(path, sizeof path, "/proc/%u/stat", pid);
+  std::FILE* f = std::fopen(path, "r");
+  if (!f) return 0;
+  char buf[1024];
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  const char* p = std::strrchr(buf, ')');
+  if (!p) return 0;
+  ++p;  // at " S ppid pgrp ..." — state is field 3
+  for (int field = 2; *p != '\0' && field < 22;) {
+    while (*p == ' ') ++p;
+    if (++field == 22) {
+      char* end = nullptr;
+      const std::uint64_t value = std::strtoull(p, &end, 10);
+      return end == p ? 0 : value;
+    }
+    while (*p != '\0' && *p != ' ') ++p;
+  }
+  return 0;
+#else
+  (void)pid;
+  return 0;
+#endif
+}
+
 #ifdef _WIN32
 // The shm transport is POSIX-only, like the net layer: fail cleanly so
 // the rest of the library stays usable elsewhere.
@@ -71,11 +106,16 @@ bool ShmClient::connect(const std::string&, std::string* error) {
   *error = "shm: not supported on this platform";
   return false;
 }
+bool ShmClient::ok() const { return false; }
 bool ShmClient::send(const char*, std::size_t) { return false; }
 bool ShmClient::send_line(const std::string&) { return false; }
+std::size_t ShmClient::try_send(const char*, std::size_t) { return 0; }
+void ShmClient::wait_send(int) {}
 void ShmClient::finish() {}
 bool ShmClient::read_line(std::string*) { return false; }
 std::size_t ShmClient::drain_available(std::string*) { return 0; }
+std::size_t ShmClient::read_some(std::string*) { return 0; }
+bool ShmClient::server_finished() const { return false; }
 void ShmClient::close() {}
 bool ShmClient::session_over() const { return true; }
 #else
@@ -97,6 +137,126 @@ constexpr int kProbeEvery = 20;
 bool pid_alive(std::uint32_t pid) {
   if (pid == 0) return false;
   return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+}
+
+/// 32-bit fold of a start time, for packing next to a pid.
+std::uint32_t start_token(std::uint64_t start) {
+  return static_cast<std::uint32_t>(start ^ (start >> 32));
+}
+
+std::uint32_t slot_pid(std::uint64_t slot) {
+  return static_cast<std::uint32_t>(slot);
+}
+
+std::uint64_t pack_slot(std::uint32_t pid, std::uint64_t start) {
+  return (static_cast<std::uint64_t>(start_token(start)) << 32) | pid;
+}
+
+/// pid liveness hardened against pid reuse: when both the recorded
+/// token and the pid's current start time are knowable they must
+/// agree, so an unrelated process that recycled a dead peer's pid
+/// reads as dead. Either side unknown (token 0, /proc unavailable)
+/// falls back to the plain pid probe.
+bool peer_alive(std::uint32_t pid, std::uint32_t token) {
+  if (!pid_alive(pid)) return false;
+  if (token == 0) return true;
+  const std::uint64_t now = proc_start_time(pid);
+  if (now == 0) return true;
+  return start_token(now) == token;
+}
+
+bool slot_alive(std::uint64_t slot) {
+  return peer_alive(slot_pid(slot), static_cast<std::uint32_t>(slot >> 32));
+}
+
+bool server_alive(const ShmSegmentHeader* header) {
+  return peer_alive(header->server_pid.load(std::memory_order_acquire),
+                    start_token(header->server_start));
+}
+
+/// Does `name` still resolve to the shm inode identified by dev/ino?
+/// Guards every unlink: the name may have been recycled by a successor
+/// since this server (or prober) last looked.
+bool name_resolves_to(const std::string& name, std::uint64_t dev,
+                      std::uint64_t ino) {
+  const int fd = ::shm_open(name.c_str(), O_RDONLY, 0600);
+  if (fd < 0) return false;
+  struct stat st{};
+  const bool same = ::fstat(fd, &st) == 0 &&
+                    static_cast<std::uint64_t>(st.st_dev) == dev &&
+                    static_cast<std::uint64_t>(st.st_ino) == ino;
+  ::close(fd);
+  return same;
+}
+
+/// Grace ticks (20 ms apart) a zero-magic segment gets before it is
+/// declared stale: a live creator publishes its magic within
+/// microseconds of creating the file, so only a creator that died
+/// mid-constructor ever exhausts this.
+constexpr int kStaleGraceTicks = 10;
+
+/// The EEXIST path of server construction: decide whether the existing
+/// segment is a leftover from a dead server and, if so, unlink it.
+/// Throws when a live server owns the name. On return (stale segment
+/// removed, or the name vanished underneath us) the caller retries its
+/// O_EXCL create.
+void recycle_stale_segment(const std::string& name) {
+  const int old = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (old < 0) {
+    if (errno == ENOENT) return;  // owner just unlinked; create afresh
+    throw_errno("shm_open '" + name + "'");
+  }
+  // A live server holds LOCK_EX on its segment fd from birth to death,
+  // so a failed nonblocking flock is proof of life — even for an owner
+  // still mid-constructor whose magic is not yet published.
+  if (::flock(old, LOCK_EX | LOCK_NB) != 0) {
+    ::close(old);
+    throw std::runtime_error("shm: segment '" + name +
+                             "' is already being served");
+  }
+  struct stat self{};
+  if (::fstat(old, &self) != 0 ||
+      !name_resolves_to(name, static_cast<std::uint64_t>(self.st_dev),
+                        static_cast<std::uint64_t>(self.st_ino))) {
+    ::close(old);  // the name moved on while we were opening; retry
+    return;
+  }
+  // Probe the header while holding the lock. A zero magic is re-read
+  // across a short grace window before it is declared stale, so a
+  // creator caught in its create-to-flock gap is never judged by a
+  // probe that landed microseconds early.
+  bool alive = false;
+  bool initialized = false;
+  for (int tick = 0; tick < kStaleGraceTicks && !initialized; ++tick) {
+    if (tick > 0) {
+      const timespec ts{0, 20 * 1000 * 1000};
+      ::nanosleep(&ts, nullptr);
+    }
+    struct stat st{};
+    if (::fstat(old, &st) != 0 ||
+        st.st_size < static_cast<off_t>(sizeof(ShmSegmentHeader)))
+      continue;  // creator has not ftruncated yet (or never did)
+    void* peek = ::mmap(nullptr, sizeof(ShmSegmentHeader),
+                        PROT_READ | PROT_WRITE, MAP_SHARED, old, 0);
+    if (peek == MAP_FAILED) continue;
+    auto* h = static_cast<ShmSegmentHeader*>(peek);
+    if (h->magic.load(std::memory_order_acquire) == kShmMagic) {
+      initialized = true;
+      alive = server_alive(h);
+    }
+    ::munmap(peek, sizeof(ShmSegmentHeader));
+  }
+  if (alive) {
+    ::close(old);
+    throw std::runtime_error("shm: segment '" + name +
+                             "' is already being served");
+  }
+  // Owner provably dead, or the magic never appeared across the grace
+  // window (a creator died mid-constructor — a live one would also
+  // have failed the flock above). Unlink while still holding the lock
+  // so no concurrent prober recycles the same name twice.
+  ::shm_unlink(name.c_str());
+  ::close(old);
 }
 
 /// ServeStream over the two rings, server side: reads requests the
@@ -129,12 +289,12 @@ class ShmServerStream final : public ServeStream {
       // (self-pipe promotion) only when a wait actually timed out, so a
       // busy session pays zero shutdown syscalls per round trip.
       if (header_->shutdown.load(std::memory_order_acquire) != 0) return 0;
-      const std::uint32_t pid =
-          header_->client_pid.load(std::memory_order_acquire);
-      if (pid == 0) return 0;  // client detached without eof: end of stream
+      const std::uint64_t slot =
+          header_->client_slot.load(std::memory_order_acquire);
+      if (slot == 0) return 0;  // client detached without eof: end of stream
       if (++idle >= kProbeEvery) {
         idle = 0;
-        if (!pid_alive(pid)) {
+        if (!slot_alive(slot)) {
           // The client vanished mid-session: end the stream so the
           // session winds down and the server frees the slot, instead
           // of wedging in this read forever.
@@ -157,12 +317,12 @@ class ShmServerStream final : public ServeStream {
         idle = 0;
         continue;
       }
-      const std::uint32_t pid =
-          header_->client_pid.load(std::memory_order_acquire);
-      if (pid == 0) return false;  // nobody left to read these bytes
+      const std::uint64_t slot =
+          header_->client_slot.load(std::memory_order_acquire);
+      if (slot == 0) return false;  // nobody left to read these bytes
       if (++idle >= kProbeEvery) {
         idle = 0;
-        if (!pid_alive(pid)) {
+        if (!slot_alive(slot)) {
           vanished_.add(1);
           return false;
         }
@@ -203,47 +363,57 @@ ShmServer::ShmServer(Engine& engine, ServeConfig config)
         "shm: ring capacity must be a power of two >= 64 bytes");
   size_ = segment_bytes(config_.shm_ring_bytes);
 
-  int fd = ::shm_open(name_.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
-  if (fd < 0 && errno == EEXIST) {
-    // A leftover segment: recycle it only when the server that made it
-    // is gone — never steal a live server's name.
-    const int old = ::shm_open(name_.c_str(), O_RDWR, 0600);
-    if (old >= 0) {
-      struct stat st{};
-      bool stale = true;
-      if (::fstat(old, &st) == 0 &&
-          st.st_size >= static_cast<off_t>(sizeof(ShmSegmentHeader))) {
-        void* peek = ::mmap(nullptr, sizeof(ShmSegmentHeader),
-                            PROT_READ | PROT_WRITE, MAP_SHARED, old, 0);
-        if (peek != MAP_FAILED) {
-          auto* h = static_cast<ShmSegmentHeader*>(peek);
-          if (h->magic.load(std::memory_order_acquire) == kShmMagic &&
-              pid_alive(h->server_pid.load(std::memory_order_acquire)))
-            stale = false;
-          ::munmap(peek, sizeof(ShmSegmentHeader));
-        }
-      }
-      ::close(old);
-      if (!stale)
-        throw std::runtime_error("shm: segment '" + name_ +
-                                 "' is already being served");
-      ::shm_unlink(name_.c_str());
-      fd = ::shm_open(name_.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  // Creation races other servers through an exclusive flock held on
+  // the segment fd for this server's whole lifetime: a prober that
+  // cannot take the lock knows the owner is alive even mid-constructor
+  // (before the magic exists), a prober that can take it re-checks the
+  // magic across a grace window before unlinking (and unlinks while
+  // still holding the lock), and after creating we verify the name
+  // still resolves to our inode — a concurrent prober may have judged
+  // the freshly created, still-empty segment stale in the tiny gap
+  // between our shm_open and our flock.
+  int fd = -1;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt >= 16)
+      throw std::runtime_error("shm: segment '" + name_ +
+                               "' is already being served");
+    fd = ::shm_open(name_.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+    if (fd < 0) {
+      if (errno != EEXIST) throw_errno("shm_open '" + name_ + "'");
+      recycle_stale_segment(name_);  // throws when the owner is alive
+      continue;
     }
+    struct stat st{};
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0 || ::fstat(fd, &st) != 0 ||
+        !name_resolves_to(name_, static_cast<std::uint64_t>(st.st_dev),
+                          static_cast<std::uint64_t>(st.st_ino))) {
+      // A stale-prober grabbed (or already unlinked) our fresh inode:
+      // back off and go again.
+      ::close(fd);
+      fd = -1;
+      const timespec ts{0, 10 * 1000 * 1000};
+      ::nanosleep(&ts, nullptr);
+      continue;
+    }
+    shm_dev_ = static_cast<std::uint64_t>(st.st_dev);
+    shm_ino_ = static_cast<std::uint64_t>(st.st_ino);
+    break;
   }
-  if (fd < 0) throw_errno("shm_open '" + name_ + "'");
+  shm_fd_ = fd;  // stays open: it carries the lifetime lock
   if (::ftruncate(fd, static_cast<off_t>(size_)) != 0) {
     const int saved = errno;
-    ::close(fd);
     ::shm_unlink(name_.c_str());
+    ::close(fd);
+    shm_fd_ = -1;
     errno = saved;
     throw_errno("ftruncate");
   }
   mem_ = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  ::close(fd);
   if (mem_ == MAP_FAILED) {
     mem_ = nullptr;
     ::shm_unlink(name_.c_str());
+    ::close(fd);
+    shm_fd_ = -1;
     throw_errno("mmap");
   }
 
@@ -252,9 +422,10 @@ ShmServer::ShmServer(Engine& engine, ServeConfig config)
   header_->magic.store(0, std::memory_order_relaxed);
   header_->version = kShmVersion;
   header_->ring_capacity = static_cast<std::uint32_t>(config_.shm_ring_bytes);
-  header_->server_pid.store(static_cast<std::uint32_t>(::getpid()),
-                            std::memory_order_relaxed);
-  header_->client_pid.store(0, std::memory_order_relaxed);
+  const auto pid = static_cast<std::uint32_t>(::getpid());
+  header_->server_pid.store(pid, std::memory_order_relaxed);
+  header_->server_start = proc_start_time(pid);
+  header_->client_slot.store(0, std::memory_order_relaxed);
   header_->epoch.store(0, std::memory_order_relaxed);
   header_->client_eof.store(0, std::memory_order_relaxed);
   header_->server_eof.store(0, std::memory_order_relaxed);
@@ -275,6 +446,8 @@ ShmServer::ShmServer(Engine& engine, ServeConfig config)
     ::munmap(mem_, size_);
     mem_ = nullptr;
     ::shm_unlink(name_.c_str());
+    ::close(shm_fd_);
+    shm_fd_ = -1;
     errno = saved;
     throw_errno("pipe");
   }
@@ -287,8 +460,15 @@ ShmServer::~ShmServer() {
   if (mem_) {
     ::munmap(mem_, size_);
     mem_ = nullptr;
-    ::shm_unlink(name_.c_str());
+    // Unlink only while the name still resolves to the inode we
+    // created: a successor that (rightly or wrongly) recycled the name
+    // must not lose its live segment to our death throes. No TOCTOU
+    // here — the flock on shm_fd_ is still held, so no prober can
+    // recycle the name between this check and the unlink.
+    if (name_resolves_to(name_, shm_dev_, shm_ino_))
+      ::shm_unlink(name_.c_str());
   }
+  if (shm_fd_ >= 0) ::close(shm_fd_);
   if (wake_rd_ >= 0) ::close(wake_rd_);
   if (wake_wr_ >= 0) ::close(wake_wr_);
 }
@@ -325,11 +505,11 @@ void ShmServer::reset_session() {
   // client that still squeezes into the clean-detach window sees
   // server_eof set and backs out of its claim.
   for (;;) {
-    std::uint32_t pid = header_->client_pid.load(std::memory_order_acquire);
-    if (pid == kSlotResetting) break;
-    if (pid == 0 || !pid_alive(pid)) {
-      if (header_->client_pid.compare_exchange_strong(
-              pid, kSlotResetting, std::memory_order_acq_rel))
+    std::uint64_t slot = header_->client_slot.load(std::memory_order_acquire);
+    if (slot == kSlotResetting) break;
+    if (slot == 0 || !slot_alive(slot)) {
+      if (header_->client_slot.compare_exchange_strong(
+              slot, kSlotResetting, std::memory_order_acq_rel))
         break;
       continue;  // lost a race with a claim or detach; re-evaluate
     }
@@ -347,7 +527,7 @@ void ShmServer::reset_session() {
   response_ring_.reset();
   header_->client_eof.store(0, std::memory_order_relaxed);
   header_->server_eof.store(0, std::memory_order_relaxed);
-  header_->client_pid.store(0, std::memory_order_release);
+  header_->client_slot.store(0, std::memory_order_release);
 }
 
 int ShmServer::run() {
@@ -357,9 +537,9 @@ int ShmServer::run() {
       "ccov_shm_clients_vanished_total",
       "shm sessions torn down because the client process died");
   while (!shutdown_requested()) {
-    const std::uint32_t pid =
-        header_->client_pid.load(std::memory_order_acquire);
-    if (pid == 0 || pid == kSlotResetting) {
+    const std::uint64_t slot =
+        header_->client_slot.load(std::memory_order_acquire);
+    if (slot == 0 || slot == kSlotResetting) {
       // Idle: no client holds the slot. Claim latency is off the hot
       // path (a session does millions of requests per claim), so a
       // plain poll tick is plenty.
@@ -441,14 +621,17 @@ bool ShmClient::connect(const std::string& name, std::string* error) {
   }
 
   // Claim the client slot: exactly one client at a time (the rings are
-  // SPSC). A dead holder is the server's job to reap — stealing here
-  // would race its own liveness probe.
-  std::uint32_t expected = 0;
+  // SPSC). The pid and its start-time token travel in one CAS, so the
+  // server can never observe the pid without the token. A dead holder
+  // is the server's job to reap — stealing here would race its own
+  // liveness probe.
+  std::uint64_t expected = 0;
   const auto pid = static_cast<std::uint32_t>(::getpid());
-  if (!header->client_pid.compare_exchange_strong(
-          expected, pid, std::memory_order_acq_rel)) {
+  const std::uint64_t slot = pack_slot(pid, proc_start_time(pid));
+  if (!header->client_slot.compare_exchange_strong(
+          expected, slot, std::memory_order_acq_rel)) {
     *error = "shm segment '" + normalized + "' is busy (client pid " +
-             std::to_string(expected) + " holds the slot)";
+             std::to_string(slot_pid(expected)) + " holds the slot)";
     ::munmap(mem, size);
     return false;
   }
@@ -461,9 +644,9 @@ bool ShmClient::connect(const std::string& name, std::string* error) {
     // still up — joining now would attach us to a session that is
     // about to be torn down unanswered). Both flags are cleared only
     // by the reset, so back out; the caller may retry once it runs.
-    std::uint32_t self = pid;
-    header->client_pid.compare_exchange_strong(self, 0,
-                                               std::memory_order_acq_rel);
+    std::uint64_t self = slot;
+    header->client_slot.compare_exchange_strong(self, 0,
+                                                std::memory_order_acq_rel);
     *error = "shm segment '" + normalized + "' is busy (session reset)";
     ::munmap(mem, size);
     return false;
@@ -473,6 +656,7 @@ bool ShmClient::connect(const std::string& name, std::string* error) {
   size_ = size;
   header_ = header;
   epoch_ = header->epoch.load(std::memory_order_acquire);
+  slot_ = slot;
   char* base = static_cast<char*>(mem);
   const std::size_t ring_bytes = util::ShmByteRing::region_bytes(cap);
   request_ring_ = util::ShmByteRing::attach(base + kHeaderBytes, cap);
@@ -490,7 +674,7 @@ bool ShmClient::session_over() const {
 bool ShmClient::ok() const {
   return connected() && !session_over() &&
          header_->server_eof.load(std::memory_order_acquire) == 0 &&
-         pid_alive(header_->server_pid.load(std::memory_order_acquire));
+         server_alive(header_);
 }
 
 bool ShmClient::send(const char* data, std::size_t n) {
@@ -549,6 +733,30 @@ std::size_t ShmClient::drain_available(std::string* out) {
   return total;
 }
 
+std::size_t ShmClient::read_some(std::string* out) {
+  if (!connected()) return 0;
+  for (;;) {
+    const std::size_t n = drain_available(out);
+    if (n > 0) return n;
+    // The server publishes the last response bytes before raising
+    // server_eof, so one more drain after seeing the flag is complete.
+    if (header_->server_eof.load(std::memory_order_acquire) != 0)
+      return drain_available(out);
+    if (session_over()) return 0;
+    // kill(2)-probe the server only when a wait timed out: a live
+    // server answers well inside kWaitMs, so the steady state pays no
+    // liveness syscall per round trip, while a crashed one is still
+    // detected within a tick.
+    if (!response_ring_.wait_readable(kWaitMs) && !server_alive(header_))
+      return 0;
+  }
+}
+
+bool ShmClient::server_finished() const {
+  return connected() &&
+         header_->server_eof.load(std::memory_order_acquire) != 0;
+}
+
 bool ShmClient::read_line(std::string* line) {
   if (!connected()) return false;
   for (;;) {
@@ -558,30 +766,15 @@ bool ShmClient::read_line(std::string* line) {
       rx_.erase(0, nl + 1);
       return true;
     }
-    if (drain_available(&rx_) > 0) continue;
-    // The server publishes the last response bytes before raising
-    // server_eof, so one more drain after seeing the flag is complete.
-    if (header_->server_eof.load(std::memory_order_acquire) != 0) {
-      if (drain_available(&rx_) > 0) continue;
-      return false;
-    }
-    if (session_over()) return false;
-    // kill(2)-probe the server only when a wait timed out: a live
-    // server answers well inside kWaitMs, so the steady state pays no
-    // liveness syscall per round trip, while a crashed one is still
-    // detected within a tick.
-    if (!response_ring_.wait_readable(kWaitMs) &&
-        !pid_alive(header_->server_pid.load(std::memory_order_acquire)))
-      return false;
+    if (read_some(&rx_) == 0) return false;
   }
 }
 
 void ShmClient::close() {
   if (!header_) return;
-  const auto pid = static_cast<std::uint32_t>(::getpid());
-  std::uint32_t expected = pid;
-  header_->client_pid.compare_exchange_strong(expected, 0,
-                                              std::memory_order_acq_rel);
+  std::uint64_t expected = slot_;
+  header_->client_slot.compare_exchange_strong(expected, 0,
+                                               std::memory_order_acq_rel);
   // Wake the server's request-ring wait so it notices the detach now
   // rather than at the next probe tick.
   request_ring_.wake_all();
@@ -589,6 +782,7 @@ void ShmClient::close() {
   mem_ = nullptr;
   size_ = 0;
   header_ = nullptr;
+  slot_ = 0;
 }
 
 #endif  // _WIN32

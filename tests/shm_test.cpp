@@ -344,7 +344,112 @@ TEST(ShmServe, RoundTripAndSecondClientBusy) {
   EXPECT_NE(line.find("\"id\":0"), std::string::npos) << line;
   EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
   EXPECT_FALSE(client.read_line(&line));  // EOF after finish()
+  // A clean end-of-stream is the server's eof mark, not an abort.
+  EXPECT_TRUE(client.server_finished());
   client.close();
+}
+
+TEST(ShmServe, ProcStartTimeIdentity) {
+#ifdef __linux__
+  // Our own start time must be readable — it is the anti-pid-reuse
+  // token every liveness probe folds in.
+  EXPECT_NE(shm::proc_start_time(static_cast<std::uint32_t>(::getpid())),
+            0u);
+#endif
+  // A pid that cannot exist has no start time.
+  EXPECT_EQ(shm::proc_start_time(0), 0u);
+}
+
+TEST(ShmServe, SecondServerOnLiveNameRejected) {
+  const std::string name = unique_shm_name("taken");
+  ServerFixture server(name);
+
+  // The live server holds an exclusive flock on its segment for its
+  // whole lifetime, so a second server must be turned away even
+  // without looking at the header.
+  eng::Engine other{eng::EngineOptions{}};
+  eng::ServeConfig config;
+  config.shm_name = name;
+  try {
+    shm::ShmServer second(other, config);
+    FAIL() << "second server on a live name must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("already being served"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShmServe, ZeroMagicLeftoverRecycledAfterGrace) {
+  // A segment whose creator died before publishing the magic: nobody
+  // holds its lock and the magic never appears, so after the grace
+  // window a new server recycles the name instead of failing forever.
+  const std::string name = unique_shm_name("zeromagic");
+  const std::string path = "/" + name;
+  ::shm_unlink(path.c_str());
+  const int fd = ::shm_open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(
+      ::ftruncate(fd, static_cast<off_t>(sizeof(shm::ShmSegmentHeader))), 0);
+  ::close(fd);
+
+  eng::Engine engine{eng::EngineOptions{}};
+  eng::ServeConfig config;
+  config.shm_name = name;
+  shm::ShmServer server(engine, config);  // must not throw
+  EXPECT_EQ(server.name(), path);
+}
+
+TEST(ShmServe, PumpedClientReassemblesSplitLines) {
+  // The `ccov client --shm` pump pattern: interleave nonblocking sends
+  // with drains into ONE buffer, then keep draining that same buffer
+  // through read_some after finish(). Rings far smaller than the
+  // response stream force every drain to land mid-line, which is
+  // exactly the case that used to tear a line between the local buffer
+  // and read_line's internal one.
+  const std::vector<std::string> script = {
+      "{\"algo\":\"construct\",\"n\":12}", "{\"algo\":\"construct\",\"n\":15}",
+      "{\"algo\":\"construct\",\"n\":12}", "{\"op\":\"stats\"}",
+      "{\"algo\":\"construct\",\"n\":13}",
+  };
+  std::string script_text;
+  for (const auto& l : script) script_text += l + "\n";
+
+  // Reference bytes through the stdio transport on a fresh engine.
+  eng::Engine reference{eng::EngineOptions{}};
+  std::istringstream in(script_text);
+  std::ostringstream out;
+  eng::serve_loop(in, out, reference, eng::ServeConfig{});
+  const std::string expected = out.str();
+  ASSERT_GT(expected.size(), 512u) << "script must overflow the rings";
+
+  const std::string name = unique_shm_name("pump");
+  ServerFixture server(name, /*ring_bytes=*/256);
+  shm::ShmClient client;
+  std::string error;
+  ASSERT_TRUE(connect_with_retry(&client, name, &error)) << error;
+
+  std::string got;
+  for (const auto& l : script) {
+    const std::string line = l + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+      off += client.try_send(line.data() + off, line.size() - off);
+      client.drain_available(&got);
+      if (off < line.size()) {
+        ASSERT_TRUE(client.ok());
+        client.wait_send(50);
+      }
+    }
+  }
+  client.finish();
+  while (client.read_some(&got) > 0) {
+  }
+  EXPECT_TRUE(client.server_finished());
+  client.close();
+
+  EXPECT_EQ(got, expected)
+      << "pumped drains must reassemble to the exact stdio byte stream";
 }
 
 TEST(ShmServe, SlotRecyclesAcrossSessions) {
@@ -440,6 +545,33 @@ TEST(ShmProcess, ForkedClientMatchesStdioBytes) {
 
   EXPECT_EQ(got, expected)
       << "shm transport must produce byte-identical serve output";
+}
+
+TEST(ShmProcess, StaleSegmentRecycledAfterServerDeath) {
+  // A server that dies without running its destructor (crash, SIGKILL)
+  // leaves the segment behind with a published magic and a dead pid.
+  // The kernel drops its flock with the process, so the next server
+  // must probe the header, judge it stale and recycle the name.
+  const std::string name = unique_shm_name("deadserver");
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    eng::Engine engine{eng::EngineOptions{}};
+    eng::ServeConfig config;
+    config.shm_name = name;
+    shm::ShmServer server(engine, config);
+    ::_exit(0);  // _exit skips the destructor: the segment stays linked
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  eng::Engine engine{eng::EngineOptions{}};
+  eng::ServeConfig config;
+  config.shm_name = name;
+  shm::ShmServer server(engine, config);  // recycles; must not throw
+  EXPECT_EQ(server.name(), "/" + name);
 }
 
 TEST(ShmProcess, VanishedClientFreesSlot) {

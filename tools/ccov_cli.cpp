@@ -458,25 +458,33 @@ int cmd_client(const ccov::util::Cli& cli) {
     ::nanosleep(&ts, nullptr);
   }
 
+  // One rx buffer for the whole session: a drain can land mid-line
+  // (reliably so under response-ring backpressure), and a line split
+  // across two drains must be reassembled in the same buffer — mixing
+  // this with ShmClient's internal read_line buffer would tear it.
   std::string rx;
-  const auto pump_out = [&] {
-    client.drain_available(&rx);
+  std::size_t requests = 0;
+  std::size_t responses = 0;
+  const auto flush_lines = [&] {
     std::size_t nl;
     while ((nl = rx.find('\n')) != std::string::npos) {
       std::cout.write(rx.data(), static_cast<std::streamsize>(nl + 1));
       rx.erase(0, nl + 1);
+      ++responses;
     }
   };
 
   std::string line;
   while (std::getline(std::cin, line)) {
     line += '\n';
+    ++requests;
     std::size_t off = 0;
     while (off < line.size()) {
       off += client.try_send(line.data() + off, line.size() - off);
       // Drain responses between partial sends: with both rings bounded,
       // one side must always keep consuming or a big batch deadlocks.
-      pump_out();
+      client.drain_available(&rx);
+      flush_lines();
       if (off < line.size()) {
         if (!client.ok()) {
           std::cerr << "client: server went away mid-send\n";
@@ -487,11 +495,24 @@ int cmd_client(const ccov::util::Cli& cli) {
     }
   }
   client.finish();
-  std::string resp;
-  while (client.read_line(&resp)) std::cout << resp << "\n";
-  pump_out();
+  while (client.read_some(&rx) > 0) flush_lines();
+  flush_lines();
+  // The protocol answers every request line with exactly one response
+  // line, so a clean session ends with matching counts, an empty rx
+  // (no torn trailing line) and the server's eof mark. Anything else
+  // means a crashed or shut-down server truncated the stream — print
+  // what arrived, but say so and fail.
+  const bool complete =
+      client.server_finished() && rx.empty() && responses == requests;
+  if (!rx.empty()) std::cout.write(rx.data(), static_cast<std::streamsize>(rx.size()));
   std::cout.flush();
   client.close();
+  if (!complete) {
+    std::cerr << "client: session aborted before the server finished ("
+              << responses << " of " << requests
+              << " responses received; output may be truncated)\n";
+    return 1;
+  }
   return 0;
 }
 
