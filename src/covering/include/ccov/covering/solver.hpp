@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "ccov/covering/cover.hpp"
+#include "ccov/util/timer.hpp"
 
 namespace ccov::covering {
 
@@ -21,12 +22,21 @@ struct SolverOptions {
   /// Capacity pruning (each cycle supplies exactly n arc units). Disabling
   /// it exists only for the ablation benchmark — searches explode.
   bool use_capacity_prune = true;
+  /// Runtime interruption controls. Both are polled every ~4k nodes, so
+  /// an unset deadline / null token leaves node counts byte-identical to
+  /// a build without them (the golden-count tests pin this). They
+  /// describe *this run*, not the problem, and are deliberately excluded
+  /// from the engine's canonical cache key.
+  util::Deadline deadline{};                  ///< wall-clock bound (unset = none)
+  const util::CancelToken* cancel = nullptr;  ///< cooperative cancel (may be null)
 };
 
 struct SolverResult {
   bool found = false;          ///< a covering within the budget was found
   bool exhausted = false;      ///< search space fully explored (proof of
                                ///< infeasibility when !found)
+  bool timed_out = false;      ///< the deadline expired mid-search
+  bool cancelled = false;      ///< the cancel token fired mid-search
   std::uint64_t nodes = 0;     ///< branch nodes visited
   RingCover cover;             ///< witness when found
 };
@@ -37,9 +47,13 @@ SolverResult solve_with_budget(std::uint32_t n, std::uint64_t budget,
 
 /// Compute the exact minimum by decreasing the budget from the
 /// construction's value until infeasible. Returns the minimum count and a
-/// witness, or nullopt if the node budget was exceeded.
+/// witness, or nullopt if the node budget was exceeded, the deadline
+/// expired, or the cancel token fired. When `last` is non-null it
+/// receives the final budget probe's result (total nodes across all
+/// probes; timed_out/cancelled say *why* an inconclusive run stopped).
 std::optional<std::pair<std::uint64_t, RingCover>> solve_minimum(
-    std::uint32_t n, const SolverOptions& opts = {});
+    std::uint32_t n, const SolverOptions& opts = {},
+    SolverResult* last = nullptr);
 
 /// Parallel variant: fans the root branching (the candidate cycles through
 /// chord (0, 1)) across a thread pool. All workers draw from one shared

@@ -46,6 +46,12 @@ struct SharedNodeBudget {
 
 constexpr std::uint64_t kNodeChunk = 4096;
 constexpr std::uint64_t kCancelCheckMask = 1023;  // check every 1024 nodes
+/// Deadline/cancel-token poll cadence: every 4096 nodes, amortizing the
+/// clock read to nothing. The masked test itself runs on every node even
+/// when both controls are unset, so arming them never changes which
+/// nodes a non-interrupted search visits — the golden node counts stay
+/// byte-identical.
+constexpr std::uint64_t kInterruptCheckMask = 4095;
 constexpr std::size_t kNoWinner = std::numeric_limits<std::size_t>::max();
 
 struct Search {
@@ -63,7 +69,9 @@ struct Search {
 
   std::uint64_t nodes = 0;
   bool node_budget_hit = false;
-  bool cancelled = false;
+  bool cancelled = false;     // a lower-index parallel root already won
+  bool deadline_hit = false;  // opts.deadline expired mid-search
+  bool cancel_hit = false;    // *opts.cancel fired mid-search
   std::vector<SmallCycle> chosen;
   std::vector<Cycle> best;
   bool found = false;
@@ -210,6 +218,16 @@ struct Search {
   /// Count one branch node against the budget; false aborts the search.
   bool consume_node() {
     ++nodes;
+    if ((nodes & kInterruptCheckMask) == 0) {
+      if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+        cancel_hit = true;
+        return false;
+      }
+      if (opts.deadline.expired()) {
+        deadline_hit = true;
+        return false;
+      }
+    }
     if (winner != nullptr && (nodes & kCancelCheckMask) == 0 &&
         winner->load(std::memory_order_relaxed) < root_index) {
       cancelled = true;
@@ -261,7 +279,8 @@ struct Search {
       if (dfs(budget - 1)) return true;
       chosen.pop_back();
       apply(c, -1);
-      if (node_budget_hit || cancelled) return false;
+      if (node_budget_hit || cancelled || deadline_hit || cancel_hit)
+        return false;
     }
     return false;
   }
@@ -277,7 +296,9 @@ SolverResult solve_with_budget(std::uint32_t n, std::uint64_t budget,
   const bool ok = s.dfs(budget);
   res.found = ok;
   res.nodes = s.nodes;
-  res.exhausted = !s.node_budget_hit;
+  res.timed_out = s.deadline_hit;
+  res.cancelled = s.cancel_hit;
+  res.exhausted = !s.node_budget_hit && !s.deadline_hit && !s.cancel_hit;
   if (ok) res.cover = RingCover{n, std::move(s.best)};
   return res;
 }
@@ -329,6 +350,8 @@ SolverResult solve_with_budget_parallel(std::uint32_t n, std::uint64_t budget,
     bool found = false;
     bool budget_hit = false;
     bool cancelled = false;
+    bool timed_out = false;
+    bool cancel_hit = false;
     std::vector<Cycle> best;
   };
   std::vector<WorkerResult> results(fanout);
@@ -352,6 +375,8 @@ SolverResult solve_with_budget_parallel(std::uint32_t n, std::uint64_t budget,
     out.nodes = s.nodes;
     out.budget_hit = s.node_budget_hit;
     out.cancelled = s.cancelled;
+    out.timed_out = s.deadline_hit;
+    out.cancel_hit = s.cancel_hit;
     if (ok) {
       out.found = true;
       out.best = std::move(s.best);
@@ -372,7 +397,13 @@ SolverResult solve_with_budget_parallel(std::uint32_t n, std::uint64_t budget,
     bool clean = true;
     for (std::size_t i = 0; i <= w; ++i) {
       res.nodes += results[i].nodes;
-      if (results[i].budget_hit) clean = false;
+      // A timed-out or token-cancelled sibling subtree means the serial
+      // search might have committed elsewhere — same truncation flag as
+      // a budget-starved one. A found cover is still reported as found
+      // (never timed_out): a witness in hand beats a timeout.
+      if (results[i].budget_hit || results[i].timed_out ||
+          results[i].cancel_hit)
+        clean = false;
     }
     res.found = true;
     res.exhausted = clean;
@@ -383,19 +414,27 @@ SolverResult solve_with_budget_parallel(std::uint32_t n, std::uint64_t budget,
   for (const WorkerResult& r : results) {
     res.nodes += r.nodes;
     if (r.budget_hit) all_exhausted = false;
+    if (r.timed_out) res.timed_out = true;
+    if (r.cancel_hit) res.cancelled = true;
   }
-  res.exhausted = all_exhausted;
+  res.exhausted = all_exhausted && !res.timed_out && !res.cancelled;
   return res;
 }
 
 std::optional<std::pair<std::uint64_t, RingCover>> solve_minimum(
-    std::uint32_t n, const SolverOptions& opts) {
+    std::uint32_t n, const SolverOptions& opts, SolverResult* last) {
   // Start from the construction (an upper bound) and push downward.
   RingCover ub = build_optimal_cover(n);
   std::uint64_t best = ub.size();
   RingCover witness = ub;
+  std::uint64_t total_nodes = 0;
   while (best > 1) {
     SolverResult res = solve_with_budget(n, best - 1, opts);
+    total_nodes += res.nodes;
+    if (last != nullptr) {
+      *last = res;
+      last->nodes = total_nodes;
+    }
     if (res.found) {
       best = res.cover.size();
       witness = res.cover;

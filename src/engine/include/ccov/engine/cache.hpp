@@ -91,8 +91,10 @@ class CoverCache {
   /// The caching policy: positive results (ok && found) and deterministic
   /// infeasibility proofs (ok && !found && exhausted — the search space
   /// was fully explored, so the answer can never change) are cached.
-  /// Genuine errors (!ok) and budget-starved non-answers (ok && !found &&
-  /// !exhausted) are transient and stay uncached.
+  /// Genuine errors (!ok), budget-starved non-answers (ok && !found &&
+  /// !exhausted) and deadline casualties (timed_out, plus the degraded
+  /// greedy-fallback answers — found==true yet deliberately non-minimal)
+  /// are transient and stay uncached.
   static bool should_cache(const CoverResponse& resp);
 
   Stats stats() const;

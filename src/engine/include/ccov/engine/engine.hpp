@@ -30,6 +30,12 @@ struct EngineOptions {
   /// pool is created on first use (Engine::pool), so engines that never
   /// batch never spawn a thread.
   std::size_t pool_threads = 0;
+  /// Graceful degradation (`ccov serve --fallback greedy`): answer a
+  /// deadline-expired exact solve with the greedy cover, flagged
+  /// degraded:true — a valid (just non-minimal) protection cover beats
+  /// a timeout error. Never applied to shutdown cancellation, and
+  /// degraded answers are never cached.
+  bool fallback_greedy = false;
 };
 
 class Engine {
@@ -101,6 +107,9 @@ class Engine {
   CoverCache cache_;
   MetricsRegistry metrics_;
   Counter* solver_nodes_ = nullptr;  ///< cumulative search nodes
+  Counter* timed_out_ = nullptr;     ///< requests past their deadline
+  Counter* degraded_ = nullptr;      ///< greedy-fallback answers served
+  Counter* cancellations_ = nullptr; ///< solves aborted by the cancel token
   std::once_flag pool_once_;
   std::unique_ptr<util::ThreadPool> pool_;
 };

@@ -196,10 +196,17 @@ class ServeServer {
 
 /// Install SIGINT/SIGTERM handlers that write one byte to `wake_fd`
 /// (async-signal-safe) — pass ServeServer::wake_fd() or
-/// HttpServer::wake_fd(). The handlers outlive the server object only
-/// as no-ops; intended for the CLI process, which serves exactly one
-/// server per run (ConnectionServer's destructor disarms the handlers
-/// before closing the fd).
-void install_signal_shutdown(int wake_fd);
+/// HttpServer::wake_fd(), or -1 when there is no wake pipe (the stdio
+/// front end, whose blocked read the signal itself interrupts thanks to
+/// the handler's missing SA_RESTART). When `cancel` is non-null the
+/// handler also fires that token (one relaxed atomic store, so still
+/// async-signal-safe), aborting every in-flight solve at its next
+/// ~4k-node poll — shutdown latency is bounded by the poll interval,
+/// not by the deepest running search. The handlers outlive the server
+/// object only as no-ops; intended for the CLI process, which serves
+/// exactly one server per run (ConnectionServer's destructor disarms
+/// the wake fd before closing it). The token must outlive the process's
+/// last signal — make it a static in the caller.
+void install_signal_shutdown(int wake_fd, util::CancelToken* cancel = nullptr);
 
 }  // namespace ccov::engine::net

@@ -28,6 +28,8 @@ struct AlgorithmOutcome {
   bool found = true;       ///< false when a search exhausted its budget
   bool exhausted = false;  ///< search space fully explored (solvers)
   std::uint64_t nodes = 0; ///< branch nodes visited (0 for constructions)
+  bool timed_out = false;  ///< the request's deadline expired mid-search
+  bool cancelled = false;  ///< the server's cancel token fired mid-search
 };
 
 /// A named cover-producing strategy.

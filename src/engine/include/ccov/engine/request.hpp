@@ -39,6 +39,18 @@ struct CoverRequest {
   /// all-to-all demand K_n. Only demand-aware algorithms ("greedy") accept
   /// a non-empty demand.
   std::vector<graph::Edge> demand;
+  /// Wall-clock budget in milliseconds; 0 means none. A wire field (the
+  /// JSONL protocol's "deadline_ms"), but NOT part of the canonical cache
+  /// key — it bounds this run, not the problem. The engine resolves it
+  /// into `deadline` at execution time when the serve layer has not
+  /// already fixed one.
+  std::uint64_t deadline_ms = 0;
+  /// Absolute deadline, fixed by the serve layer at the moment the
+  /// request was *accepted* — queue wait counts against it, which is
+  /// what makes expired-while-queued load shedding possible.
+  util::Deadline deadline;
+  /// Server-wide cancellation token (SIGINT/SIGTERM); may be null.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Result of running (or cache-resolving) one CoverRequest.
@@ -54,6 +66,12 @@ struct CoverResponse {
   bool validated = false;    ///< validation was requested and performed
   bool valid = false;        ///< validation verdict (when validated)
   bool cache_hit = false;    ///< served from the CoverCache
+  bool timed_out = false;    ///< deadline expired (or shutdown cancelled)
+                             ///< before the search settled; never cached
+  bool degraded = false;     ///< timed-out exact solve answered with the
+                             ///< greedy fallback cover; never cached
+  bool shed = false;         ///< deadline expired while queued; answered
+                             ///< without solving (serve layer)
   double elapsed_ms = 0.0;   ///< wall time inside the engine
 };
 

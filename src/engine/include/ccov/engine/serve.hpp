@@ -74,6 +74,21 @@ struct ServeConfig {
   /// is answered in-band with ok:false and discarded as it streams in —
   /// the session never buffers more than this much of one line.
   std::size_t max_line_bytes = 1 << 20;
+  /// Wall-clock deadline (ms) applied to requests that carry no
+  /// deadline_ms of their own; 0 = none (`--default-deadline-ms`). The
+  /// absolute deadline is fixed when the request is *accepted*, so time
+  /// spent queued behind a batch counts against it.
+  std::uint64_t default_deadline_ms = 0;
+  /// Graceful-degradation policy (`--fallback`): "" answers expired
+  /// exact solves with timed_out:true; "greedy" answers them with the
+  /// greedy cover flagged degraded:true. The CLI maps this onto
+  /// EngineOptions::fallback_greedy when constructing the engine.
+  std::string fallback;
+  /// Server-wide cancellation token, cancelled by the SIGINT/SIGTERM
+  /// handler. Sessions check it between lines and thread it into every
+  /// request, so shutdown latency is bounded by the solver's ~4k-node
+  /// poll interval instead of the deepest in-flight search. May be null.
+  const util::CancelToken* cancel = nullptr;
 
   // --- listener (TCP and HTTP front ends) --------------------------------
   std::string host = "127.0.0.1";

@@ -26,7 +26,6 @@
 /// reproducible fields (lookup zeroes them on every hit anyway).
 
 #include <cstdint>
-#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -64,15 +63,10 @@ std::size_t load_snapshot_file(const std::string& path, CoverCache& cache);
 /// std::runtime_error on a missing file, bad magic or unknown version.
 std::uint64_t snapshot_entry_count_file(const std::string& path);
 
-namespace detail {
-
-/// Test-only fault injection for save_snapshot_file: when set, called
-/// with the temp-file path after the snapshot body has been written but
-/// before the atomic rename. Throwing from the hook simulates a process
-/// that died (or hit ENOSPC) mid-save; the tests use it to verify the
-/// previous snapshot survives an interrupted save.
-std::function<void(const std::string& temp_path)>& snapshot_pre_rename_hook();
-
-}  // namespace detail
+// Fault injection for the save path lives in the generic failpoint
+// registry (ccov/util/failpoint.hpp): "snapshot_open", "snapshot_write",
+// "snapshot_fsync" and "snapshot_rename" each throw from the matching
+// stage of save_snapshot_file, simulating ENOSPC/EIO mid-save; the
+// previous snapshot survives and the temp file is removed.
 
 }  // namespace ccov::engine

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "ccov/covering/canonical.hpp"
+#include "ccov/util/failpoint.hpp"
 
 namespace ccov::engine {
 
@@ -163,6 +164,12 @@ std::optional<CoverResponse> CoverCache::lookup(const CanonicalKey& ck) {
 
 bool CoverCache::should_cache(const CoverResponse& resp) {
   if (!resp.ok) return false;  // genuine error: transient, retryable
+  // Deadline casualties are never proofs: a timed-out search could
+  // settle given more wall clock, and a degraded (greedy-fallback)
+  // answer is found==true yet deliberately non-minimal — caching either
+  // would pin a transient condition onto a permanent key. Shed responses
+  // never reach the cache path at all.
+  if (resp.timed_out || resp.degraded) return false;
   // ok && !found && !exhausted means the budget ran out before the search
   // settled the instance — a bigger budget (or luckier parallel schedule)
   // could still answer, so only exhausted negatives are proofs.
@@ -175,6 +182,10 @@ void CoverCache::insert(const CoverRequest& req, const CoverResponse& resp) {
 
 void CoverCache::insert(const CanonicalKey& ck, const CoverResponse& resp) {
   if (!should_cache(resp)) return;
+  // Fault-injection seam: a failed insert models memory pressure. The
+  // cache is an accelerator, so "fail" means "silently drop" — callers
+  // never depend on an insert landing.
+  if (CCOV_FAILPOINT("cache_insert")) return;
   CoverResponse stored = resp;
   stored.cache_hit = false;
   // Store the cover in the canonical frame so every D_n-equivalent

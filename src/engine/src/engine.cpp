@@ -36,6 +36,21 @@ Engine::Engine(EngineOptions opts, AlgorithmRegistry& registry)
   solver_nodes_ = &metrics_.counter(
       "ccov_solver_nodes_total",
       "Cumulative branch-and-bound nodes searched across all requests");
+  // Robustness series. Shed is owned by the serve sessions (a shed
+  // request never reaches Engine::run) but registered here so every
+  // scrape exposes the full schema at zero.
+  timed_out_ = &metrics_.counter(
+      "ccov_requests_timed_out_total",
+      "Requests whose deadline expired before the search settled");
+  degraded_ = &metrics_.counter(
+      "ccov_requests_degraded_total",
+      "Timed-out exact solves answered with the greedy fallback cover");
+  cancellations_ = &metrics_.counter(
+      "ccov_solver_cancellations_total",
+      "In-flight solves aborted by the server's cancel token (shutdown)");
+  metrics_.counter("ccov_requests_shed_total",
+                   "Requests answered shed:true because their deadline "
+                   "expired while queued");
   // Pre-register the serve-session series so a scrape before the first
   // connection still exposes the full schema at zero.
   metrics_.counter("ccov_serve_sessions_total",
@@ -81,30 +96,61 @@ CoverResponse Engine::run(const CoverRequest& req) {
     if (auto hit = cache_.lookup(ck)) return *std::move(hit);
   }
 
+  // Resolve a relative deadline_ms into an absolute deadline unless the
+  // serve layer already fixed one at accept time. The copy is taken only
+  // when a deadline actually needs resolving — the common undeadlined
+  // request never pays for it.
+  CoverRequest local;
+  const CoverRequest* eff = &req;
+  if (!req.deadline.set() && req.deadline_ms > 0) {
+    local = req;
+    local.deadline = util::Deadline::after_ms(
+        static_cast<std::int64_t>(req.deadline_ms));
+    eff = &local;
+  }
+
   util::Timer timer;
   try {
-    AlgorithmOutcome out = algo->run(req);
+    AlgorithmOutcome out = algo->run(*eff);
     resp.ok = true;
     resp.found = out.found;
     resp.exhausted = out.exhausted;
+    resp.timed_out = out.timed_out || out.cancelled;
     resp.nodes = out.nodes;
     resp.cover = std::move(out.cover);
     if (out.nodes) solver_nodes_->add(out.nodes);
+    if (out.cancelled)
+      cancellations_->add(1);
+    else if (out.timed_out)
+      timed_out_->add(1);
+    // Graceful degradation: a deadline-expired exact solve is answered
+    // with the greedy cover instead of a bare timeout. Shutdown
+    // cancellation is exempt — its whole point is to finish fast.
+    if (opts_.fallback_greedy && out.timed_out && !out.cancelled &&
+        !resp.found) {
+      if (const Algorithm* greedy = registry_.find("greedy")) {
+        AlgorithmOutcome fb = greedy->run(*eff);
+        resp.cover = std::move(fb.cover);
+        resp.found = fb.found;
+        resp.degraded = true;
+        degraded_->add(1);
+      }
+    }
   } catch (const std::exception& e) {
     resp.error = e.what();
     resp.elapsed_ms = timer.millis();
     return resp;
   }
 
-  if (req.validate && resp.found) {
+  if (eff->validate && resp.found) {
     resp.validated = true;
     if (algo->validate) {
-      resp.valid = algo->validate(req, resp.cover);
-    } else if (req.demand.empty()) {
+      resp.valid = algo->validate(*eff, resp.cover);
+    } else if (eff->demand.empty()) {
       resp.valid = covering::validate_cover(resp.cover).ok;
     } else {
       resp.valid = covering::validate_cover_against(
-                       resp.cover, demand_graph(req.n, req.demand))
+                       resp.cover, demand_graph(eff->n, eff->demand))
                        .ok;
     }
   }

@@ -1,5 +1,7 @@
 #include "ccov/engine/net.hpp"
 
+#include "ccov/util/failpoint.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -55,7 +57,7 @@ ServeServer::ServeServer(Engine& engine, ServeConfig config)
       server_(config_.host, config_.port, config_.backlog,
               config_.max_clients) {}
 int ServeServer::run() { return 1; }
-void install_signal_shutdown(int) {}
+void install_signal_shutdown(int, util::CancelToken*) {}
 #else
 
 namespace {
@@ -242,6 +244,10 @@ SocketStream::~SocketStream() {
 }
 
 std::ptrdiff_t SocketStream::read_some(char* buf, std::size_t n) {
+  // Fault-injection seam: a failed socket read looks like the peer
+  // hanging up (end-of-stream), which is exactly how a real half-open
+  // connection surfaces here.
+  if (CCOV_FAILPOINT("net_read")) return 0;
   for (;;) {
     pollfd fds[2];
     fds[0] = {fd_, POLLIN, 0};
@@ -265,6 +271,9 @@ std::ptrdiff_t SocketStream::read_some(char* buf, std::size_t n) {
 }
 
 bool SocketStream::write_all(const char* data, std::size_t n) {
+  // Fault-injection seam: a failed write is a dead peer (EPIPE-like);
+  // only this connection tears down.
+  if (CCOV_FAILPOINT("net_write")) return false;
   std::size_t off = 0;
   while (off < n) {
     pollfd fds[2];
@@ -323,7 +332,15 @@ namespace {
 /// of a write into a closed (possibly reused) fd.
 std::atomic<int> g_shutdown_fd{-1};
 
+/// Server-wide cancel token the same handlers fire, so in-flight solves
+/// abort at their next ~4k-node poll instead of running to completion.
+/// CancelToken::cancel() is one relaxed atomic store — async-signal-safe.
+std::atomic<util::CancelToken*> g_shutdown_cancel{nullptr};
+
 void on_shutdown_signal(int) {
+  if (util::CancelToken* tok =
+          g_shutdown_cancel.load(std::memory_order_relaxed))
+    tok->cancel();
   const int fd = g_shutdown_fd.load(std::memory_order_relaxed);
   if (fd >= 0) {
     const char byte = 's';
@@ -446,8 +463,9 @@ int ServeServer::run() {
       });
 }
 
-void install_signal_shutdown(int wake_fd) {
+void install_signal_shutdown(int wake_fd, util::CancelToken* cancel) {
   g_shutdown_fd.store(wake_fd, std::memory_order_relaxed);
+  g_shutdown_cancel.store(cancel, std::memory_order_relaxed);
   struct sigaction sa{};
   sa.sa_handler = on_shutdown_signal;
   sigemptyset(&sa.sa_mask);

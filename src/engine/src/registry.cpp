@@ -78,6 +78,24 @@ std::uint64_t effective_budget(const CoverRequest& req) {
   return req.budget != 0 ? req.budget : covering::rho(req.n);
 }
 
+/// Solver options for this run: the request's search knobs plus its
+/// runtime interruption controls (deadline fixed at accept time, the
+/// server's cancel token).
+covering::SolverOptions runtime_solver_options(const CoverRequest& req) {
+  covering::SolverOptions opts = req.solver;
+  opts.deadline = req.deadline;
+  opts.cancel = req.cancel;
+  return opts;
+}
+
+AlgorithmOutcome outcome_from(covering::SolverResult res) {
+  AlgorithmOutcome out{std::move(res.cover), res.found, res.exhausted,
+                       res.nodes};
+  out.timed_out = res.timed_out;
+  out.cancelled = res.cancelled;
+  return out;
+}
+
 }  // namespace
 
 void register_builtin_algorithms(AlgorithmRegistry& reg) {
@@ -97,10 +115,8 @@ void register_builtin_algorithms(AlgorithmRegistry& reg) {
            true,
            [](const CoverRequest& req) {
              require_all_to_all(req, "solve");
-             const auto res = covering::solve_with_budget(
-                 req.n, effective_budget(req), req.solver);
-             return AlgorithmOutcome{res.cover, res.found, res.exhausted,
-                                     res.nodes};
+             return outcome_from(covering::solve_with_budget(
+                 req.n, effective_budget(req), runtime_solver_options(req)));
            },
            nullptr});
 
@@ -110,10 +126,9 @@ void register_builtin_algorithms(AlgorithmRegistry& reg) {
            true,
            [](const CoverRequest& req) {
              require_all_to_all(req, "solve-parallel");
-             const auto res = covering::solve_with_budget_parallel(
-                 req.n, effective_budget(req), req.solver, req.threads);
-             return AlgorithmOutcome{res.cover, res.found, res.exhausted,
-                                     res.nodes};
+             return outcome_from(covering::solve_with_budget_parallel(
+                 req.n, effective_budget(req), runtime_solver_options(req),
+                 req.threads));
            },
            nullptr});
 

@@ -82,6 +82,13 @@ bool extract_request(const json::Value& obj, CoverRequest* req,
                    key))
         return false;
       req->solver.max_cycle_len = static_cast<std::uint32_t>(u);
+    } else if (key == "deadline_ms") {
+      // Capped at ~49 days: effectively unbounded, but small enough that
+      // the absolute steady_clock deadline can never overflow.
+      if (!to_uint(val, std::numeric_limits<std::uint32_t>::max(), &u, error,
+                   key))
+        return false;
+      req->deadline_ms = u;
     } else if (key == "validate") {
       if (val.type != json::Value::Type::kBool) {
         *error = "field 'validate' must be a boolean";
@@ -192,7 +199,19 @@ void register_builtin_verbs(ServeVerbRegistry& reg) {
                    .end_object();
                return w.take();
              } catch (const std::exception& e) {
-               return serve_error_line(ctx.id, e.what());
+               // Disk failures (ENOSPC, EIO, a failed rename) come back
+               // as a structured save verdict, not a bare error line:
+               // the client learns both that its snapshot did NOT land
+               // and which file was involved.
+               json::JsonWriter w;
+               w.begin_object()
+                   .key("id").value(ctx.id)
+                   .key("op").value_string("save")
+                   .key("ok").value(false)
+                   .key("error").value_string(e.what())
+                   .key("file").value_string(ctx.config.cache_file)
+                   .end_object();
+               return w.take();
              }
            }});
   reg.add({"clear", "empty the store",
@@ -291,6 +310,12 @@ void render_response_line(json::JsonWriter& w, std::uint64_t id,
       .key("exhausted").value(resp.exhausted)
       .key("nodes").value(nodes)
       .key("cache_hit").value(cache_hit);
+  // Degradation flags render only when raised, keeping the bytes of
+  // every ordinary response identical to pre-deadline builds (the
+  // cross-transport byte-compare tests pin this).
+  if (resp.timed_out) w.key("timed_out").value(true);
+  if (resp.degraded) w.key("degraded").value(true);
+  if (resp.shed) w.key("shed").value(true);
   if (resp.validated) w.key("valid").value(resp.valid);
   if (resp.found) {
     w.key("cover").begin_array();
@@ -317,6 +342,19 @@ void render_error_line(json::JsonWriter& w, std::uint64_t id,
       .key("ok").value(false)
       .key("error").value_string(error)
       .end_object();
+}
+
+/// The in-band answer for a request whose deadline expired while it was
+/// queued: ok (the protocol held up its end), nothing found, nothing
+/// searched, shed:true. Solving it anyway would burn the engine on an
+/// answer the client has already given up on.
+CoverResponse shed_response(const CoverRequest& req) {
+  CoverResponse resp;
+  resp.ok = true;
+  resp.algorithm = req.algorithm;
+  resp.n = req.n;
+  resp.shed = true;
+  return resp;
 }
 
 }  // namespace
@@ -487,6 +525,7 @@ int serve_session(ServeStream& raw_io, Engine& engine,
     bool is_request = false;
     CoverRequest req;
     std::string error;  ///< preformatted parse failure when !is_request
+    bool shed = false;  ///< deadline expired while queued (set at flush)
   };
 
   // Session metrics: resolved once (one map lookup each), updated with
@@ -497,6 +536,7 @@ int serve_session(ServeStream& raw_io, Engine& engine,
   Counter& m_requests = metrics.counter("ccov_serve_requests_total", "");
   Counter& m_verbs = metrics.counter("ccov_serve_verbs_total", "");
   Counter& m_errors = metrics.counter("ccov_serve_errors_total", "");
+  Counter& m_shed = metrics.counter("ccov_requests_shed_total", "");
   Gauge& m_depth = metrics.gauge("ccov_serve_pipeline_depth", "");
   Counter& m_bytes_read = metrics.counter("ccov_serve_bytes_read_total", "");
   Counter& m_bytes_written =
@@ -637,16 +677,27 @@ int serve_session(ServeStream& raw_io, Engine& engine,
           inline_w.value_raw("\n");  // top level: appended verbatim
         } else {
           inline_requests.clear();
-          for (const Pending& p : pending)
-            if (p.is_request) inline_requests.push_back(p.req);
+          for (Pending& p : pending) {
+            if (!p.is_request) continue;
+            // Deadline-aware load shedding: a request whose deadline
+            // expired while queued is answered in-band without solving.
+            if (p.req.deadline.expired()) {
+              p.shed = true;
+              m_shed.add(1);
+            } else {
+              inline_requests.push_back(p.req);
+            }
+          }
           const std::vector<CoverResponse> responses =
               runner.run(inline_requests);
           std::size_t k = 0;
           for (const Pending& p : pending) {
-            if (p.is_request)
-              render_response_line(inline_w, p.id, responses[k++]);
-            else
+            if (!p.is_request)
               render_error_line(inline_w, p.id, p.error);
+            else if (p.shed)
+              render_response_line(inline_w, p.id, shed_response(p.req));
+            else
+              render_response_line(inline_w, p.id, responses[k++]);
             inline_w.value_raw("\n");
           }
         }
@@ -660,16 +711,30 @@ int serve_session(ServeStream& raw_io, Engine& engine,
       auto work = std::make_shared<std::vector<Pending>>(std::move(pending));
       pending.clear();
       pending_requests = 0;
-      return enqueue_job([&io, &runner, work] {
+      return enqueue_job([&io, &runner, &m_shed, work] {
+        // The shed decision happens here, on the worker, at the moment
+        // the batch would start solving — exactly when the queue wait
+        // behind earlier flushes has been paid.
         std::vector<CoverRequest> requests;
-        for (const Pending& p : *work)
-          if (p.is_request) requests.push_back(p.req);
+        for (Pending& p : *work) {
+          if (!p.is_request) continue;
+          if (p.req.deadline.expired()) {
+            p.shed = true;
+            m_shed.add(1);
+          } else {
+            requests.push_back(p.req);
+          }
+        }
         const std::vector<CoverResponse> responses = runner.run(requests);
         std::string out;
         std::size_t k = 0;
         for (const Pending& p : *work) {
-          out += p.is_request ? serve_response_line(p.id, responses[k++])
-                              : serve_error_line(p.id, p.error);
+          if (!p.is_request)
+            out += serve_error_line(p.id, p.error);
+          else if (p.shed)
+            out += serve_response_line(p.id, shed_response(p.req));
+          else
+            out += serve_response_line(p.id, responses[k++]);
           out += "\n";
         }
         return io.write_all(out.data(), out.size()) && io.flush();
@@ -683,11 +748,27 @@ int serve_session(ServeStream& raw_io, Engine& engine,
       });
     };
 
+    // Fix the absolute deadline the moment a request is accepted (queue
+    // wait counts against it) and attach the server's cancel token. The
+    // parse memo keeps the *wire* request; every accepted copy resolves
+    // its own deadline afresh.
+    const auto accept_request = [&config](CoverRequest* req) {
+      if (req->deadline_ms == 0) req->deadline_ms = config.default_deadline_ms;
+      if (req->deadline_ms > 0)
+        req->deadline = util::Deadline::after_ms(
+            static_cast<std::int64_t>(req->deadline_ms));
+      req->cancel = config.cancel;
+    };
+
     LineReader reader(io, config.max_line_bytes);
     std::uint64_t id = 0;
     std::string line;
     bool alive = true;
     while (alive) {
+      // Shutdown check between lines: a cancelled server stops accepting
+      // instead of blocking on the next read — the bounded-shutdown
+      // guarantee for transports whose reads cannot be woken externally.
+      if (config.cancel != nullptr && config.cancel->cancelled()) break;
       const LineReader::Result r = reader.next(&line);
       if (r == LineReader::Result::kEof) break;
       if (r == LineReader::Result::kTooLong) {
@@ -705,7 +786,8 @@ int serve_session(ServeStream& raw_io, Engine& engine,
         // Same bytes as the previous request: reuse the parsed request
         // and canonical key (both pure functions of the line).
         m_requests.add(1);
-        pending.push_back({id++, true, memo_cmd.req, {}});
+        pending.push_back({id++, true, memo_cmd.req, {}, false});
+        accept_request(&pending.back().req);
         ++pending_requests;
         ck_hint = &memo_ck;
         alive = enqueue_flush();  // batch == 1: flush immediately
@@ -727,7 +809,8 @@ int serve_session(ServeStream& raw_io, Engine& engine,
           memo_valid = true;
           ck_hint = &memo_ck;
         }
-        pending.push_back({id++, true, std::move(cmd.req), {}});
+        pending.push_back({id++, true, std::move(cmd.req), {}, false});
+        accept_request(&pending.back().req);
         ++pending_requests;
         if (pending_requests >= batch) alive = enqueue_flush();
         continue;

@@ -1,6 +1,7 @@
 #include "ccov/engine/shm.hpp"
 
 #include "ccov/engine/net.hpp"
+#include "ccov/util/failpoint.hpp"
 
 #include <atomic>
 #include <cerrno>
@@ -275,6 +276,9 @@ class ShmServerStream final : public ServeStream {
         vanished_(vanished) {}
 
   std::ptrdiff_t read_some(char* buf, std::size_t n) override {
+    // Fault-injection seam: a failed ring read looks like the client
+    // detaching (end of stream), the same way a vanished peer surfaces.
+    if (CCOV_FAILPOINT("shm_read")) return 0;
     int idle = 0;
     for (;;) {
       const std::size_t r = req_.try_read(buf, n);
@@ -307,6 +311,9 @@ class ShmServerStream final : public ServeStream {
   }
 
   bool write_all(const char* data, std::size_t n) override {
+    // Fault-injection seam: a failed ring write is a client that
+    // stopped draining; only this session tears down.
+    if (CCOV_FAILPOINT("shm_write")) return false;
     std::size_t off = 0;
     int idle = 0;
     int grace_ms = -1;  // bounded only once shutdown was observed

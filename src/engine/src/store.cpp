@@ -1,5 +1,7 @@
 #include "ccov/engine/store.hpp"
 
+#include "ccov/util/failpoint.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <cstring>
@@ -194,15 +196,6 @@ std::size_t load_snapshot(std::istream& is, CoverCache& cache) {
   return static_cast<std::size_t>(count);
 }
 
-namespace detail {
-
-std::function<void(const std::string&)>& snapshot_pre_rename_hook() {
-  static std::function<void(const std::string&)> hook;
-  return hook;
-}
-
-}  // namespace detail
-
 namespace {
 
 /// Flush the file's data to stable storage (best effort on platforms
@@ -244,6 +237,13 @@ void save_snapshot_file(const std::string& path, const CoverCache& cache) {
       dir / (target.filename().string() + ".tmp." + std::to_string(pid) + "." +
              std::to_string(save_seq.fetch_add(1, std::memory_order_relaxed)));
   try {
+    // Fault-injection seams: each stage of the atomic save can be made
+    // to throw (simulated ENOSPC/EIO). The catch below removes the temp
+    // file, so an injected failure — like a real one — leaves the
+    // previous snapshot untouched and no *.tmp.* debris behind.
+    if (CCOV_FAILPOINT("snapshot_open"))
+      throw std::runtime_error("snapshot: cannot open " + tmp.string() +
+                               " for writing (injected)");
     {
       std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
       if (!os)
@@ -251,13 +251,20 @@ void save_snapshot_file(const std::string& path, const CoverCache& cache) {
                                  " for writing");
       save_snapshot(os, cache);
       os.flush();
+      if (CCOV_FAILPOINT("snapshot_write"))
+        throw std::runtime_error("snapshot: write to " + tmp.string() +
+                                 " failed (injected ENOSPC)");
       if (!os)
         throw std::runtime_error("snapshot: write to " + tmp.string() +
                                  " failed");
     }
+    if (CCOV_FAILPOINT("snapshot_fsync"))
+      throw std::runtime_error("snapshot: fsync of " + tmp.string() +
+                               " failed (injected EIO)");
     sync_to_disk(tmp);
-    if (const auto& hook = detail::snapshot_pre_rename_hook())
-      hook(tmp.string());
+    if (CCOV_FAILPOINT("snapshot_rename"))
+      throw std::runtime_error("snapshot: rename of " + tmp.string() +
+                               " failed (injected)");
     fs::rename(tmp, target);
   } catch (...) {
     std::error_code ec;

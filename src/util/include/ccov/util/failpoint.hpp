@@ -1,0 +1,75 @@
+#pragma once
+/// \file failpoint.hpp
+/// FailPoint: a tiny fault-injection registry. Production seams ask
+/// `CCOV_FAILPOINT("name")` at the moment they could fail for real —
+/// a socket read, an fsync, a rename — and tests (or the
+/// CCOV_FAILPOINTS environment variable) arm those names with a
+/// behaviour:
+///
+///   off        never fires (the default for unknown names)
+///   error      the seam fails: CCOV_FAILPOINT evaluates true
+///   delay:MS   sleep MS milliseconds, then proceed normally
+///   crash      abort the process (fires once, then disarms)
+///
+/// Any spec may carry a `*N` suffix to fire only on the first N
+/// evaluations ("error*2" fails twice then goes quiet); `crash`
+/// defaults to `*1`. Multiple points are configured at once with the
+/// env syntax `CCOV_FAILPOINTS="snapshot_fsync=error;net_read=delay:5"`,
+/// parsed on first use.
+///
+/// Cost model: the macro compiles to the literal `(false)` unless the
+/// build sets -DCCOV_FAILPOINTS_ENABLED (CMake option CCOV_FAILPOINTS),
+/// so release binaries carry no branch at the seams. The registry and
+/// test API below are compiled unconditionally — tests probe
+/// `failpoint::compiled()` and skip seam-dependent assertions when the
+/// macro is inert.
+///
+/// Seams are free to ignore a `true` return when "fail" makes no sense
+/// for them (the futex-wait and pipeline-submit seams honour only
+/// delay mode); each seam documents its interpretation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccov::util::failpoint {
+
+/// True when the binary was configured with -DCCOV_FAILPOINTS=ON,
+/// i.e. the CCOV_FAILPOINT macro at the seams is live.
+bool compiled();
+
+/// Arm one failpoint. `spec` is off | error | delay:MS | crash, with
+/// an optional *N count suffix. Returns false (and sets *error) on a
+/// malformed spec; the point keeps its previous state.
+bool set(const std::string& name, const std::string& spec,
+         std::string* error = nullptr);
+
+/// Disarm one point / every point. Hit counts reset too.
+void clear(const std::string& name);
+void clear_all();
+
+/// Parse a full `name=spec;name=spec` configuration string (the
+/// CCOV_FAILPOINTS env format). Empty segments are ignored. Returns
+/// false on the first malformed entry; earlier entries stay armed.
+bool configure(const std::string& config, std::string* error = nullptr);
+
+/// Times `name` fired (performed its action) since it was last set.
+std::uint64_t hits(const std::string& name);
+
+/// Names currently armed (any mode other than off/expired counts).
+std::vector<std::string> names();
+
+/// Evaluate the point: performs delay/crash side effects and returns
+/// true when the seam should fail (error mode). Unknown or exhausted
+/// names return false without side effects. This is what the
+/// CCOV_FAILPOINT macro expands to in instrumented builds; tests may
+/// also call it directly regardless of how the binary was compiled.
+bool should_fail(const char* name);
+
+}  // namespace ccov::util::failpoint
+
+#if defined(CCOV_FAILPOINTS_ENABLED)
+#define CCOV_FAILPOINT(name) (::ccov::util::failpoint::should_fail(name))
+#else
+#define CCOV_FAILPOINT(name) (false)
+#endif

@@ -1,9 +1,14 @@
 #pragma once
 /// \file timer.hpp
 /// Monotonic wall-clock stopwatch for coarse measurements in table harnesses
-/// (google-benchmark is used for the statistically careful measurements).
+/// (google-benchmark is used for the statistically careful measurements),
+/// plus the two cooperative-interruption primitives the serve stack
+/// threads into the solver hot loop: a steady_clock Deadline and an
+/// atomic CancelToken.
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 
 namespace ccov::util {
 
@@ -24,6 +29,78 @@ class Timer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Wall-clock budget for one piece of work. Default-constructed is
+/// "unset": never expires, costs one bool test to check. Copyable —
+/// a deadline is a value, fixed at the moment the work was accepted
+/// (queue wait counts against it, which is what makes load shedding
+/// possible downstream).
+class Deadline {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  /// A deadline `ms` milliseconds from now. ms <= 0 yields an unset
+  /// deadline (the protocol's deadline_ms=0 means "no deadline").
+  static Deadline after_ms(std::int64_t ms) {
+    Deadline d;
+    if (ms > 0) {
+      d.at_ = clock::now() + std::chrono::milliseconds(ms);
+      d.set_ = true;
+    }
+    return d;
+  }
+
+  static Deadline at(clock::time_point tp) {
+    Deadline d;
+    d.at_ = tp;
+    d.set_ = true;
+    return d;
+  }
+
+  bool set() const { return set_; }
+
+  /// True when a set deadline has passed; an unset deadline never
+  /// expires. The clock read happens only when set.
+  bool expired() const { return set_ && clock::now() >= at_; }
+
+  /// Milliseconds until expiry (<= 0 when expired). Meaningless on an
+  /// unset deadline; callers check set() first.
+  std::int64_t remaining_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(at_ -
+                                                                 clock::now())
+        .count();
+  }
+
+ private:
+  clock::time_point at_{};
+  bool set_ = false;
+};
+
+/// One-way cancellation flag, safe to set from a signal handler (the
+/// store is a lock-free atomic). The solver polls it every few
+/// thousand nodes; serve installs one per server so SIGTERM bounds
+/// shutdown latency regardless of how deep a search is.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Async-signal-safe.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Tests re-arm a shared token between cases; production never does.
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
 };
 
 }  // namespace ccov::util

@@ -1,0 +1,221 @@
+#include "ccov/util/failpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace ccov::util::failpoint {
+
+namespace {
+
+enum class Mode { kOff, kError, kDelay, kCrash };
+
+struct Point {
+  Mode mode = Mode::kOff;
+  int delay_ms = 0;
+  /// Firings left before the point goes quiet; -1 = unlimited.
+  long long remaining = -1;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+  /// Lock-free fast-path guard: should_fail touches the mutex only
+  /// while at least one point is armed.
+  std::atomic<int> armed{0};
+};
+
+bool configure_locked(Registry& reg, const std::string& config,
+                      std::string* error);
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry();
+    // One-shot env bootstrap: CCOV_FAILPOINTS="name=spec;name=spec".
+    // A malformed env entry is deliberately fatal-silent (ignored past
+    // the bad segment) — fault injection must never take down a
+    // production binary that happens to inherit a stale variable.
+    if (const char* env = std::getenv("CCOV_FAILPOINTS")) {
+      std::string err;
+      (void)configure_locked(*reg, env, &err);
+    }
+    return reg;
+  }();
+  return *r;
+}
+
+bool parse_spec(const std::string& spec, Point* out, std::string* error) {
+  std::string body = spec;
+  long long count = -1;
+  if (auto star = body.rfind('*'); star != std::string::npos) {
+    const std::string n = body.substr(star + 1);
+    body = body.substr(0, star);
+    char* end = nullptr;
+    count = std::strtoll(n.c_str(), &end, 10);
+    if (n.empty() || *end != '\0' || count < 0) {
+      if (error) *error = "failpoint: bad count in spec '" + spec + "'";
+      return false;
+    }
+  }
+  Point p;
+  p.remaining = count;
+  if (body == "off") {
+    p.mode = Mode::kOff;
+  } else if (body == "error") {
+    p.mode = Mode::kError;
+  } else if (body == "crash") {
+    p.mode = Mode::kCrash;
+    if (count < 0) p.remaining = 1;  // crash-once by default
+  } else if (body.rfind("delay:", 0) == 0) {
+    const std::string ms = body.substr(6);
+    char* end = nullptr;
+    const long long v = std::strtoll(ms.c_str(), &end, 10);
+    if (ms.empty() || *end != '\0' || v < 0 || v > 60'000) {
+      if (error) *error = "failpoint: bad delay in spec '" + spec + "'";
+      return false;
+    }
+    p.mode = Mode::kDelay;
+    p.delay_ms = static_cast<int>(v);
+  } else {
+    if (error) *error = "failpoint: unknown spec '" + spec + "'";
+    return false;
+  }
+  *out = p;
+  return true;
+}
+
+void set_locked(Registry& reg, const std::string& name, const Point& p) {
+  auto it = reg.points.find(name);
+  const bool was_armed =
+      it != reg.points.end() && it->second.mode != Mode::kOff;
+  const bool now_armed = p.mode != Mode::kOff;
+  if (it == reg.points.end()) {
+    if (!now_armed) return;
+    reg.points.emplace(name, p);
+  } else {
+    it->second = p;
+  }
+  if (now_armed && !was_armed)
+    reg.armed.fetch_add(1, std::memory_order_relaxed);
+  else if (!now_armed && was_armed)
+    reg.armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool configure_locked(Registry& reg, const std::string& config,
+                      std::string* error) {
+  std::size_t pos = 0;
+  while (pos <= config.size()) {
+    std::size_t semi = config.find(';', pos);
+    if (semi == std::string::npos) semi = config.size();
+    const std::string entry = config.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error) *error = "failpoint: bad entry '" + entry + "'";
+      return false;
+    }
+    Point p;
+    if (!parse_spec(entry.substr(eq + 1), &p, error)) return false;
+    std::lock_guard<std::mutex> lock(reg.mu);
+    set_locked(reg, entry.substr(0, eq), p);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool compiled() {
+#if defined(CCOV_FAILPOINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool set(const std::string& name, const std::string& spec,
+         std::string* error) {
+  Point p;
+  if (!parse_spec(spec, &p, error)) return false;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  set_locked(reg, name, p);
+  return true;
+}
+
+void clear(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  set_locked(reg, name, Point{});
+  reg.points.erase(name);
+}
+
+void clear_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, p] : reg.points) {
+    if (p.mode != Mode::kOff) reg.armed.fetch_sub(1, std::memory_order_relaxed);
+    p = Point{};
+  }
+  reg.points.clear();
+}
+
+bool configure(const std::string& config, std::string* error) {
+  return configure_locked(registry(), config, error);
+}
+
+std::uint64_t hits(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> names() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, p] : reg.points)
+    if (p.mode != Mode::kOff && p.remaining != 0) out.push_back(name);
+  return out;
+}
+
+bool should_fail(const char* name) {
+  Registry& reg = registry();
+  if (reg.armed.load(std::memory_order_relaxed) == 0) return false;
+  Mode mode;
+  int delay_ms;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.points.find(name);
+    if (it == reg.points.end()) return false;
+    Point& p = it->second;
+    if (p.mode == Mode::kOff || p.remaining == 0) return false;
+    if (p.remaining > 0) --p.remaining;
+    ++p.hits;
+    mode = p.mode;
+    delay_ms = p.delay_ms;
+  }
+  // Side effects happen outside the lock: a delay must not serialize
+  // unrelated seams, and abort under a held mutex deadlocks atexit
+  // paths under sanitizers.
+  switch (mode) {
+    case Mode::kError:
+      return true;
+    case Mode::kDelay:
+      if (delay_ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return false;
+    case Mode::kCrash:
+      std::abort();
+    case Mode::kOff:
+      break;
+  }
+  return false;
+}
+
+}  // namespace ccov::util::failpoint

@@ -1,5 +1,7 @@
 #include "ccov/util/pipeline.hpp"
 
+#include "ccov/util/failpoint.hpp"
+
 #include <algorithm>
 #include <utility>
 
@@ -18,6 +20,11 @@ OrderedPipeline::~OrderedPipeline() {
 }
 
 bool OrderedPipeline::enqueue(std::function<bool()> job) {
+  // Fault-injection seam, delay-only: stalling a submit back-pressures
+  // the parser thread exactly like a slow worker would. Submits are
+  // never "failed" — ordering guarantees would be meaningless if jobs
+  // could vanish — so an error spec is deliberately ignored.
+  (void)CCOV_FAILPOINT("pipeline_submit");
   std::unique_lock<std::mutex> lk(mu_);
   space_cv_.wait(lk, [&] { return dead_ || outstanding() < depth_; });
   if (dead_) return false;

@@ -1,5 +1,7 @@
 #include "ccov/util/shm_ring.hpp"
 
+#include "ccov/util/failpoint.hpp"
+
 #include <algorithm>
 #include <cstring>
 #include <new>
@@ -175,6 +177,10 @@ std::size_t ShmByteRing::try_read(char* buf, std::size_t n) {
 }
 
 bool ShmByteRing::wait_readable(int timeout_ms) {
+  // Fault-injection seam, delay-only: a delay here widens the
+  // sleep/publish race windows chaos tests probe. "Failing" a wait has
+  // no meaning, so an error spec is deliberately ignored.
+  (void)CCOV_FAILPOINT("futex_wait");
   Control* c = ctrl_;
   if (spin_helps()) {
     for (int i = 0; i < kSpinIterations; ++i) {
@@ -196,6 +202,7 @@ bool ShmByteRing::wait_readable(int timeout_ms) {
 }
 
 bool ShmByteRing::wait_writable(int timeout_ms) {
+  (void)CCOV_FAILPOINT("futex_wait");  // delay-only, as in wait_readable
   Control* c = ctrl_;
   if (spin_helps()) {
     for (int i = 0; i < kSpinIterations; ++i) {

@@ -9,9 +9,10 @@ TMPDIR_SMOKE=$(mktemp -d)
 # server shm_unlink's it on a clean exit; the trap covers failure paths,
 # where an orphaned /dev/shm file would otherwise outlive the test.
 SHM_NAME="ccov-smoke-$$"
+SHM_RETRY_NAME="ccov-smoke-retry-$$"
 cleanup() {
   rm -rf "${TMPDIR_SMOKE}"
-  rm -f "/dev/shm/${SHM_NAME}"
+  rm -f "/dev/shm/${SHM_NAME}" "/dev/shm/${SHM_RETRY_NAME}"
 }
 trap cleanup EXIT
 COVER_FILE="${TMPDIR_SMOKE}/cover.txt"
@@ -330,5 +331,103 @@ WARM2="${TMPDIR_SMOKE}/sweep_warm2.csv"
 # The warm sweep answers every n from the snapshot: zero nodes searched.
 tail -n +2 "${WARM2}" | awk -F, '{ if ($9 != 0) exit 1 }' \
   || fail "warm sweep should report nodes=0 for every row"
+
+echo "== ccov serve request deadlines (timed_out, degraded, never cached)"
+# n=10 at its default budget exhausts the 200M-node budget (~seconds of
+# search), so a 60ms deadline reliably expires mid-search.
+DL_REQ='{"algo":"solve","n":10,"deadline_ms":60}'
+DL_OUT=$(echo "${DL_REQ}" | "${CCOV}" serve 2>/dev/null)
+echo "${DL_OUT}" | grep -q '"timed_out":true' \
+  || fail "expired deadline should answer timed_out:true: ${DL_OUT}"
+echo "${DL_OUT}" | grep -q '"found":false' \
+  || fail "a bare timeout should not claim a cover: ${DL_OUT}"
+DEG_OUT=$(echo "${DL_REQ}" | "${CCOV}" serve --fallback greedy 2>/dev/null)
+echo "${DEG_OUT}" | grep -q '"degraded":true' \
+  || fail "--fallback greedy should flag the answer degraded: ${DEG_OUT}"
+echo "${DEG_OUT}" | grep -q '"found":true' \
+  || fail "--fallback greedy should still produce a cover: ${DEG_OUT}"
+DD_OUT=$(echo '{"algo":"solve","n":10}' \
+  | "${CCOV}" serve --default-deadline-ms 60 2>/dev/null)
+echo "${DD_OUT}" | grep -q '"timed_out":true' \
+  || fail "--default-deadline-ms should bound requests without one: ${DD_OUT}"
+DL_SNAP="${TMPDIR_SMOKE}/deadline_store.bin"
+echo "${DL_REQ}" | "${CCOV}" serve --cache-file "${DL_SNAP}" >/dev/null 2>&1 \
+  || fail "serve with an expired deadline should still exit 0"
+"${CCOV}" cache stats --cache-file "${DL_SNAP}" | grep -q "entries: 0" \
+  || fail "a timed-out answer must never be cached"
+
+echo "== SIGTERM mid-solve: bounded shutdown, loadable snapshot (stdio)"
+TERM_SNAP="${TMPDIR_SMOKE}/term_store.bin"
+TERM_IN="${TMPDIR_SMOKE}/term_in"
+TERM_OUT="${TMPDIR_SMOKE}/term_out.jsonl"
+mkfifo "${TERM_IN}"
+# A plain background command (not a coproc) so ${TERM_PID} is the ccov
+# process itself — the SIGTERM must land on the server, not a wrapper.
+"${CCOV}" serve --cache-file "${TERM_SNAP}" \
+  < "${TERM_IN}" > "${TERM_OUT}" 2>/dev/null &
+TERM_PID=$!
+exec 9> "${TERM_IN}"
+printf '%s\n' '{"algo":"construct","n":9}' >&9
+for _ in $(seq 100); do
+  [ -s "${TERM_OUT}" ] && break
+  sleep 0.1
+done
+[ -s "${TERM_OUT}" ] || fail "serve did not answer the warmup request"
+printf '%s\n' '{"algo":"solve","n":10}' >&9
+sleep 0.3  # the solve is now seconds deep into its 200M-node budget
+T0=$(date +%s%N)
+kill -TERM "${TERM_PID}"
+wait "${TERM_PID}" || fail "stdio serve should exit 0 on SIGTERM"
+exec 9>&-
+ELAPSED_MS=$(( ( $(date +%s%N) - T0 ) / 1000000 ))
+[ "${ELAPSED_MS}" -lt 2000 ] \
+  || fail "stdio SIGTERM shutdown took ${ELAPSED_MS}ms (in-flight solve not cancelled?)"
+"${CCOV}" cache load --cache-file "${TERM_SNAP}" | grep -q "snapshot ok" \
+  || fail "snapshot saved during stdio SIGTERM shutdown should load cleanly"
+
+echo "== SIGTERM mid-solve: bounded shutdown, loadable snapshot (TCP)"
+TERM_TCP_SNAP="${TMPDIR_SMOKE}/term_tcp_store.bin"
+TERM_TCP_ERR="${TMPDIR_SMOKE}/term_tcp.err"
+"${CCOV}" serve --listen 127.0.0.1:0 --cache-file "${TERM_TCP_SNAP}" \
+  2>"${TERM_TCP_ERR}" &
+TERM_TCP_PID=$!
+TERM_PORT=""
+for _ in $(seq 100); do
+  TERM_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+    "${TERM_TCP_ERR}" 2>/dev/null || true)
+  [ -n "${TERM_PORT}" ] && break
+  sleep 0.1
+done
+[ -n "${TERM_PORT}" ] || fail "TCP server did not report its listening port"
+exec 3<>"/dev/tcp/127.0.0.1/${TERM_PORT}" || fail "cannot connect to ${TERM_PORT}"
+printf '%s\n' '{"algo":"construct","n":9}' >&3
+IFS= read -r line <&3 || fail "warmup over TCP got no response"
+printf '%s\n' '{"algo":"solve","n":10}' >&3
+sleep 0.3
+T0=$(date +%s%N)
+kill -TERM "${TERM_TCP_PID}"
+wait "${TERM_TCP_PID}" || fail "TCP serve should exit 0 on SIGTERM"
+ELAPSED_MS=$(( ( $(date +%s%N) - T0 ) / 1000000 ))
+exec 3<&- 3>&-
+[ "${ELAPSED_MS}" -lt 2000 ] \
+  || fail "TCP SIGTERM shutdown took ${ELAPSED_MS}ms (in-flight solve not cancelled?)"
+"${CCOV}" cache load --cache-file "${TERM_TCP_SNAP}" | grep -q "snapshot ok" \
+  || fail "snapshot saved during TCP SIGTERM shutdown should load cleanly"
+
+echo "== ccov client --shm retries until the server appears"
+RETRY_OUT="${TMPDIR_SMOKE}/retry.jsonl"
+( echo '{"algo":"construct","n":9}' \
+    | "${CCOV}" client --shm "${SHM_RETRY_NAME}" --connect-retry-ms 5000 \
+    > "${RETRY_OUT}" ) &
+RETRY_CLIENT_PID=$!
+sleep 0.3  # the client is now inside its backoff loop, server not yet up
+"${CCOV}" serve --shm "${SHM_RETRY_NAME}" 2>/dev/null &
+RETRY_SHM_PID=$!
+wait "${RETRY_CLIENT_PID}" \
+  || fail "client --shm should keep retrying until the server appears"
+grep -q '"id":0,"ok":true' "${RETRY_OUT}" \
+  || fail "retried shm client should complete its round trip"
+kill -TERM "${RETRY_SHM_PID}"
+wait "${RETRY_SHM_PID}" || fail "retry-test shm server should exit 0 on SIGTERM"
 
 echo "cli_smoke: PASS"

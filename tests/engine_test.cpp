@@ -25,6 +25,7 @@
 #include "ccov/engine/serve.hpp"
 #include "ccov/engine/store.hpp"
 #include "ccov/extensions/lambda_cover.hpp"
+#include "ccov/util/failpoint.hpp"
 #include "ccov/util/prng.hpp"
 
 namespace eng = ccov::engine;
@@ -769,13 +770,18 @@ TEST(Snapshot, RejectsCorruptStreams) {
 
 namespace {
 
-/// RAII guard for the snapshot save fault-injection hook.
-class PreRenameHookGuard {
+/// RAII guard arming one failpoint for the scope of a test block.
+class FailPointGuard {
  public:
-  explicit PreRenameHookGuard(std::function<void(const std::string&)> hook) {
-    eng::detail::snapshot_pre_rename_hook() = std::move(hook);
+  FailPointGuard(const std::string& name, const std::string& spec)
+      : name_(name) {
+    std::string err;
+    EXPECT_TRUE(ccov::util::failpoint::set(name_, spec, &err)) << err;
   }
-  ~PreRenameHookGuard() { eng::detail::snapshot_pre_rename_hook() = nullptr; }
+  ~FailPointGuard() { ccov::util::failpoint::clear(name_); }
+
+ private:
+  std::string name_;
 };
 
 std::string read_file_bytes(const std::string& path) {
@@ -788,6 +794,8 @@ std::string read_file_bytes(const std::string& path) {
 }  // namespace
 
 TEST(Snapshot, InterruptedSaveNeverCorruptsThePreviousSnapshot) {
+  if (!ccov::util::failpoint::compiled())
+    GTEST_SKIP() << "binary built without CCOV_FAILPOINTS=ON";
   namespace fs = std::filesystem;
   const fs::path dir =
       fs::path(testing::TempDir()) / "ccov_atomic_save_test";
@@ -802,38 +810,28 @@ TEST(Snapshot, InterruptedSaveNeverCorruptsThePreviousSnapshot) {
   const std::string good_bytes = read_file_bytes(path);
   ASSERT_FALSE(good_bytes.empty());
 
-  // A bigger store whose save gets killed mid-way: the hook fires after
-  // the temp file is fully written but before the rename — it truncates
-  // the temp file (the bytes a crashed process would leave behind) and
-  // then dies. The target file must be untouched.
+  // A bigger store whose save dies at each stage of the atomic dance in
+  // turn: open refused, write failed (ENOSPC), fsync failed (EIO),
+  // rename failed — the last one firing *after* the temp file was fully
+  // written. Whatever the stage, the target file must be untouched and
+  // no temp debris may remain.
   ASSERT_TRUE(engine.run(make_req("construct", 11)).ok);
-  std::string observed_tmp;
-  {
-    PreRenameHookGuard guard([&](const std::string& tmp) {
-      observed_tmp = tmp;
-      EXPECT_NE(tmp, path);  // never writes through the target in place
-      EXPECT_EQ(fs::path(tmp).parent_path(), fs::path(path).parent_path())
-          << "temp must live in the target dir so the rename is atomic";
-      // At this point the previous snapshot is still fully intact.
-      EXPECT_EQ(read_file_bytes(path), good_bytes);
-      std::ofstream truncate(tmp, std::ios::binary | std::ios::trunc);
-      truncate << "partial";
-      throw std::runtime_error("simulated crash mid-save");
-    });
+  for (const char* point : {"snapshot_open", "snapshot_write",
+                            "snapshot_fsync", "snapshot_rename"}) {
+    FailPointGuard guard(point, "error");
     EXPECT_THROW(eng::save_snapshot_file(path, engine.cache()),
-                 std::runtime_error);
+                 std::runtime_error)
+        << point;
+    EXPECT_EQ(ccov::util::failpoint::hits(point), 1u);
+    // The old snapshot survived byte for byte and still loads...
+    EXPECT_EQ(read_file_bytes(path), good_bytes) << point;
+    eng::CoverCache check(256);
+    EXPECT_EQ(eng::load_snapshot_file(path, check), 1u) << point;
+    // ...and the dead save's temp file was cleaned up.
+    for (const auto& entry : fs::directory_iterator(dir))
+      EXPECT_EQ(entry.path().string(), path)
+          << "unexpected leftover: " << entry.path();
   }
-  ASSERT_FALSE(observed_tmp.empty());
-
-  // The old snapshot survived byte for byte and still loads...
-  EXPECT_EQ(read_file_bytes(path), good_bytes);
-  eng::CoverCache check(256);
-  EXPECT_EQ(eng::load_snapshot_file(path, check), 1u);
-  // ...and the dead save's temp file was cleaned up.
-  EXPECT_FALSE(fs::exists(observed_tmp));
-  for (const auto& entry : fs::directory_iterator(dir))
-    EXPECT_EQ(entry.path().string(), path)
-        << "unexpected leftover: " << entry.path();
 
   // With the fault gone, the same save completes and replaces the file.
   eng::save_snapshot_file(path, engine.cache());

@@ -130,6 +130,18 @@ TEST(Metrics, GoldenRenderOfAFreshEngineAfterOneRequest) {
       "computation\n"
       "# TYPE ccov_cache_misses_total counter\n"
       "ccov_cache_misses_total 1\n"
+      "# HELP ccov_requests_degraded_total Timed-out exact solves answered "
+      "with the greedy fallback cover\n"
+      "# TYPE ccov_requests_degraded_total counter\n"
+      "ccov_requests_degraded_total 0\n"
+      "# HELP ccov_requests_shed_total Requests answered shed:true because "
+      "their deadline expired while queued\n"
+      "# TYPE ccov_requests_shed_total counter\n"
+      "ccov_requests_shed_total 0\n"
+      "# HELP ccov_requests_timed_out_total Requests whose deadline expired "
+      "before the search settled\n"
+      "# TYPE ccov_requests_timed_out_total counter\n"
+      "ccov_requests_timed_out_total 0\n"
       "# HELP ccov_serve_errors_total In-band protocol errors answered by "
       "serve sessions\n"
       "# TYPE ccov_serve_errors_total counter\n"
@@ -153,6 +165,10 @@ TEST(Metrics, GoldenRenderOfAFreshEngineAfterOneRequest) {
       "sessions\n"
       "# TYPE ccov_serve_verbs_total counter\n"
       "ccov_serve_verbs_total 0\n"
+      "# HELP ccov_solver_cancellations_total In-flight solves aborted by "
+      "the server's cancel token (shutdown)\n"
+      "# TYPE ccov_solver_cancellations_total counter\n"
+      "ccov_solver_cancellations_total 0\n"
       "# HELP ccov_solver_nodes_total Cumulative branch-and-bound nodes "
       "searched across all requests\n"
       "# TYPE ccov_solver_nodes_total counter\n"

@@ -81,6 +81,7 @@ void print_usage(std::ostream& os) {
         "            [--cache-shards S] [--max-clients M] [--max-line "
         "BYTES]\n"
         "            [--max-body BYTES] [--shm-ring BYTES]\n"
+        "            [--default-deadline-ms MS] [--fallback greedy|none]\n"
         "                                           JSONL serve loop: stdio "
         "by default,\n"
         "                                           TCP with --listen, HTTP "
@@ -89,10 +90,13 @@ void print_usage(std::ostream& os) {
         "/metrics),\n"
         "                                           shared memory with "
         "--shm;\n"
-        "                                           SIGINT/SIGTERM shut down "
-        "cleanly\n"
-        "                                           and save the store\n"
-        "  client    --shm NAME                     pipe JSONL from stdin "
+        "                                           SIGINT/SIGTERM cancel "
+        "in-flight\n"
+        "                                           solves, shut down "
+        "cleanly and\n"
+        "                                           save the store\n"
+        "  client    --shm NAME [--connect-retry-ms MS]\n"
+        "                                           pipe JSONL from stdin "
         "through a\n"
         "                                           --shm server, responses "
         "to stdout\n"
@@ -339,6 +343,15 @@ ccov::engine::ServeConfig parse_serve_config(const ccov::util::Cli& cli) {
       static_cast<std::size_t>(cli.get_int("max-clients", 64));
   config.max_body_bytes = static_cast<std::size_t>(cli.get_int(
       "max-body", static_cast<std::int64_t>(config.max_body_bytes)));
+  const std::int64_t deadline_ms = cli.get_int("default-deadline-ms", 0);
+  if (deadline_ms < 0)
+    throw std::invalid_argument("--default-deadline-ms must be >= 0");
+  config.default_deadline_ms = static_cast<std::uint64_t>(deadline_ms);
+  config.fallback = cli.get("fallback", "");
+  if (config.fallback == "none") config.fallback.clear();
+  if (!config.fallback.empty() && config.fallback != "greedy")
+    throw std::invalid_argument("--fallback must be 'greedy' or 'none' (got '" +
+                                config.fallback + "')");
 
   const struct {
     const char* flag;
@@ -377,10 +390,18 @@ ccov::engine::ServeConfig parse_serve_config(const ccov::util::Cli& cli) {
 }
 
 int cmd_serve(const ccov::util::Cli& cli) {
-  const ccov::engine::ServeConfig config = parse_serve_config(cli);
+  ccov::engine::ServeConfig config = parse_serve_config(cli);
   const bool listen = !cli.get("listen", "").empty();
   const bool http = !cli.get("http", "").empty();
   const bool shm = !config.shm_name.empty();
+
+  // The shutdown token the SIGINT/SIGTERM handler fires. Static because
+  // a signal can arrive after cmd_serve unwinds (the handlers stay
+  // installed for the process lifetime); every session threads it into
+  // its in-flight requests, so shutdown latency is bounded by the
+  // solver's ~4k-node cancel poll, not the deepest running search.
+  static ccov::util::CancelToken shutdown_token;
+  config.cancel = &shutdown_token;
 
   ccov::engine::EngineOptions eopts;
   eopts.cache_capacity = std::max(
@@ -389,6 +410,7 @@ int cmd_serve(const ccov::util::Cli& cli) {
   eopts.cache_shards = static_cast<std::size_t>(cli.get_int(
       "cache-shards",
       static_cast<std::int64_t>(ccov::engine::CoverCache::kDefaultShards)));
+  eopts.fallback_greedy = config.fallback == "greedy";
   ccov::engine::Engine engine(eopts);
 
   if (const std::size_t loaded =
@@ -400,19 +422,22 @@ int cmd_serve(const ccov::util::Cli& cli) {
   int rc = 0;
   if (http) {
     ccov::engine::net::HttpServer server(engine, config);
-    ccov::engine::net::install_signal_shutdown(server.wake_fd());
+    ccov::engine::net::install_signal_shutdown(server.wake_fd(),
+                                               &shutdown_token);
     std::cerr << "serve: http listening on " << server.host() << ":"
               << server.port() << "\n";
     rc = server.run();
   } else if (listen) {
     ccov::engine::net::ServeServer server(engine, config);
-    ccov::engine::net::install_signal_shutdown(server.wake_fd());
+    ccov::engine::net::install_signal_shutdown(server.wake_fd(),
+                                               &shutdown_token);
     std::cerr << "serve: listening on " << server.host() << ":"
               << server.port() << "\n";
     rc = server.run();
   } else if (shm) {
     ccov::engine::shm::ShmServer server(engine, config);
-    ccov::engine::net::install_signal_shutdown(server.wake_fd());
+    ccov::engine::net::install_signal_shutdown(server.wake_fd(),
+                                               &shutdown_token);
     std::cerr << "serve: shm serving on " << server.name() << "\n";
     rc = server.run();
   } else {
@@ -424,12 +449,25 @@ int cmd_serve(const ccov::util::Cli& cli) {
     // responses to it.
     std::ios::sync_with_stdio(false);
     std::cin.tie(nullptr);
+    // No wake pipe on stdio: the handler (installed without SA_RESTART)
+    // interrupts the blocked stdin read itself, and the fired token
+    // aborts whatever is solving, so SIGINT/SIGTERM still drain, save
+    // and exit 0 within a bounded latency.
+    ccov::engine::net::install_signal_shutdown(-1, &shutdown_token);
     rc = ccov::engine::serve_loop(std::cin, std::cout, engine, config);
   }
   if (!config.cache_file.empty()) {
-    ccov::engine::save_snapshot_file(config.cache_file, engine.cache());
-    std::cerr << "serve: saved " << engine.cache().size() << " entries to "
-              << config.cache_file << "\n";
+    // A failed save-on-exit (disk full, I/O error) must be loud: the
+    // operator asked for persistence and did not get it. The previous
+    // snapshot, if any, is still intact (atomic temp-then-rename).
+    try {
+      ccov::engine::save_snapshot_file(config.cache_file, engine.cache());
+      std::cerr << "serve: saved " << engine.cache().size() << " entries to "
+                << config.cache_file << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "serve: save-on-exit failed: " << e.what() << "\n";
+      return rc != 0 ? rc : 1;
+    }
   }
   return rc;
 }
@@ -446,16 +484,39 @@ int cmd_client(const ccov::util::Cli& cli) {
   }
   ccov::engine::shm::ShmClient client;
   std::string error;
-  // A short retry loop: the claim can transiently lose against the
-  // server's between-sessions reset.
-  for (int attempt = 0; !client.connect(name, &error); ++attempt) {
-    if (attempt >= 100 ||
-        error.find("busy (session reset)") == std::string::npos) {
-      std::cerr << "client: " << error << "\n";
-      return 1;
-    }
-    const timespec ts{0, 10 * 1000 * 1000};
+  // Two distinct transient failures get retried: losing the claim race
+  // against the server's between-sessions reset (short fixed retries, as
+  // before), and the segment not existing yet — a client started moments
+  // before its server. The latter backs off exponentially (1ms doubling
+  // to 100ms) within the --connect-retry-ms budget, so scripted
+  // "server & client &" races converge without hammering shm_open.
+  const std::int64_t retry_budget_ms =
+      std::max<std::int64_t>(0, cli.get_int("connect-retry-ms", 2000));
+  const auto sleep_ms = [](std::int64_t ms) {
+    const timespec ts{static_cast<time_t>(ms / 1000),
+                      static_cast<long>(ms % 1000) * 1000 * 1000};
     ::nanosleep(&ts, nullptr);
+  };
+  std::int64_t waited_ms = 0;
+  std::int64_t backoff_ms = 1;
+  for (int busy_attempts = 0; !client.connect(name, &error);) {
+    if (error.find("busy (session reset)") != std::string::npos &&
+        busy_attempts < 100) {
+      ++busy_attempts;
+      sleep_ms(10);
+      continue;
+    }
+    if (error.find("cannot open shm segment") != std::string::npos &&
+        waited_ms < retry_budget_ms) {
+      const std::int64_t delay =
+          std::min(backoff_ms, retry_budget_ms - waited_ms);
+      sleep_ms(delay);
+      waited_ms += delay;
+      backoff_ms = std::min<std::int64_t>(backoff_ms * 2, 100);
+      continue;
+    }
+    std::cerr << "client: " << error << "\n";
+    return 1;
   }
 
   // One rx buffer for the whole session: a drain can land mid-line
