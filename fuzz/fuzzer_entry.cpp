@@ -1,0 +1,13 @@
+/// libFuzzer entry: forwards to the harness named by the
+/// CCOV_FUZZ_TARGET compile definition (one binary per surface).
+
+#include "harnesses.hpp"
+
+#ifndef CCOV_FUZZ_TARGET
+#error "CCOV_FUZZ_TARGET must name a ccov_fuzz_* harness"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return CCOV_FUZZ_TARGET(data, size);
+}

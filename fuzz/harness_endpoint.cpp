@@ -1,0 +1,13 @@
+#include "harnesses.hpp"
+
+#include <string>
+
+#include "ccov/engine/net.hpp"
+
+int ccov_fuzz_endpoint(const std::uint8_t* data, std::size_t size) {
+  const std::string spec(reinterpret_cast<const char*>(data), size);
+  std::string host, error;
+  std::uint16_t port = 0;
+  (void)ccov::engine::net::parse_endpoint(spec, &host, &port, &error);
+  return 0;
+}

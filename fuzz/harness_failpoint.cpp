@@ -1,0 +1,15 @@
+#include "harnesses.hpp"
+
+#include <string>
+
+#include "ccov/util/failpoint.hpp"
+
+int ccov_fuzz_failpoint(const std::uint8_t* data, std::size_t size) {
+  const std::string config(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  // validate() is the parse-only entry point: same grammar as
+  // configure(), but arms nothing — so the harness stays side-effect
+  // free (a fuzzed "crash" spec must never actually arm a crash).
+  (void)ccov::util::failpoint::validate(config, &error);
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "harnesses.hpp"
+
+#include <string>
+
+#include "ccov/engine/http.hpp"
+
+int ccov_fuzz_http_head(const std::uint8_t* data, std::size_t size) {
+  const std::string buf(reinterpret_cast<const char*>(data), size);
+  std::size_t head_end = 0, body_start = 0;
+  // Mirror the server's sequencing: locate the terminator first, parse
+  // only the head before it — but also parse the whole buffer as a
+  // head, which is what happens to a terminator-free final read.
+  std::string error;
+  ccov::engine::net::HttpRequest req;
+  if (ccov::engine::net::find_head_end(buf, &head_end, &body_start))
+    (void)ccov::engine::net::parse_head(buf.substr(0, head_end), &req, &error);
+  ccov::engine::net::HttpRequest whole;
+  (void)ccov::engine::net::parse_head(buf, &whole, &error);
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include "harnesses.hpp"
+
+#include <string>
+
+#include "ccov/util/json.hpp"
+
+int ccov_fuzz_json(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  ccov::util::json::Value v;
+  std::string error;
+  ccov::util::json::Reader reader(text);
+  (void)reader.parse(&v, &error);
+  return 0;
+}

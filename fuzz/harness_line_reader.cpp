@@ -1,0 +1,56 @@
+#include "harnesses.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "ccov/engine/serve.hpp"
+
+namespace {
+
+/// ServeStream over a fixed byte buffer, delivering reads in uneven
+/// chunks (cycling 1, 7, 4096 bytes) so the framing layer sees the same
+/// torn-line arrivals a socket produces.
+class BufferStream final : public ccov::engine::ServeStream {
+ public:
+  BufferStream(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::ptrdiff_t read_some(char* buf, std::size_t n) override {
+    if (pos_ >= size_ || n == 0) return 0;
+    static constexpr std::size_t kChunks[] = {1, 7, 4096};
+    const std::size_t want = kChunks[turn_++ % 3];
+    const std::size_t got = std::min({n, want, size_ - pos_});
+    std::memcpy(buf, data_ + pos_, got);
+    pos_ += got;
+    return static_cast<std::ptrdiff_t>(got);
+  }
+
+  bool write_all(const char*, std::size_t) override { return true; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::size_t turn_ = 0;
+};
+
+}  // namespace
+
+int ccov_fuzz_line_reader(const std::uint8_t* data, std::size_t size) {
+  // First byte picks the line limit (0, tiny, or moderate) so the
+  // too-long discard path is exercised as often as plain framing.
+  std::size_t max_line = 0;
+  if (size != 0) {
+    static constexpr std::size_t kLimits[] = {0, 3, 64, 1024};
+    max_line = kLimits[data[0] % 4];
+    ++data;
+    --size;
+  }
+  BufferStream io(data, size);
+  ccov::engine::LineReader reader(io, max_line);
+  std::string line;
+  while (reader.next(&line) != ccov::engine::LineReader::Result::kEof) {
+  }
+  return 0;
+}

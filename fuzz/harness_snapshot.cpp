@@ -1,0 +1,21 @@
+#include "harnesses.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "ccov/engine/store.hpp"
+
+int ccov_fuzz_snapshot(const std::uint8_t* data, std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream is(bytes);
+  // Small cache: the loader must reject hostile sizes *before* sizing
+  // any allocation, so capacity plays no part in safety.
+  ccov::engine::CoverCache cache(16);
+  try {
+    (void)ccov::engine::load_snapshot(is, cache);
+  } catch (const std::runtime_error&) {
+    // Rejected input — the expected outcome for almost every mutation.
+  }
+  return 0;
+}

@@ -17,7 +17,6 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -25,6 +24,7 @@
 #include <vector>
 
 #include "ccov/engine/request.hpp"
+#include "ccov/util/thread_annotations.hpp"
 
 namespace ccov::engine {
 
@@ -126,7 +126,7 @@ class CoverCache {
   template <typename Fn>
   bool visit(const CanonicalKey& ck, Fn&& fn) {
     Shard& shard = shard_for(ck.key);
-    std::lock_guard lk(shard.mu);
+    util::MutexLock lk(shard.mu);
     const auto it = shard.index.find(ck.key);
     if (it == shard.index.end()) return false;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
@@ -144,10 +144,13 @@ class CoverCache {
   };
 
   struct Shard {
+    /// Fixed at construction, read-only afterwards: not guarded.
     std::size_t capacity = 1;
-    mutable std::mutex mu;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    mutable util::Mutex mu;
+    /// front = most recently used
+    std::list<Entry> lru CCOV_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        CCOV_GUARDED_BY(mu);
   };
 
   Shard& shard_for(const std::string& key);

@@ -30,6 +30,32 @@
 
 namespace ccov::engine::net {
 
+/// A parsed HTTP/1.1 request head (request line + the headers the front
+/// end acts on). Exposed, together with find_head_end/parse_head,
+/// because head parsing sits directly on untrusted socket bytes — tests
+/// and the fuzz harnesses (see fuzz/) drive it without a socket.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;
+  bool has_content_length = false;
+  std::uint64_t content_length = 0;
+  bool chunked = false;          ///< request used Transfer-Encoding: chunked
+  bool expect_continue = false;  ///< Expect: 100-continue
+  bool keep_alive = true;
+};
+
+/// Locate the head terminator (CRLFCRLF per the RFC; bare LFLF is
+/// tolerated). Sets *body_start just past it.
+bool find_head_end(const std::string& buf, std::size_t* head_end,
+                   std::size_t* body_start);
+
+/// Parse a request head (everything before the terminator). Returns
+/// false and sets *error on a malformed request line, header line or
+/// Content-Length; never throws.
+bool parse_head(const std::string& head, HttpRequest* req,
+                std::string* error);
+
 /// `ccov serve --http`: thread-per-connection HTTP server in front of
 /// serve_session and the metrics registry. Every connection shares
 /// `engine` (one cache, one pool, one MetricsRegistry).

@@ -21,10 +21,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "ccov/util/thread_annotations.hpp"
 
 namespace ccov::engine {
 
@@ -101,8 +102,9 @@ class MetricsRegistry {
   static void check_name(const std::string& name);
   static std::int64_t current_value(const Metric& m);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Metric> metrics_;  ///< sorted = render order
+  mutable util::Mutex mu_;
+  /// sorted = render order
+  std::map<std::string, Metric> metrics_ CCOV_GUARDED_BY(mu_);
 };
 
 }  // namespace ccov::engine

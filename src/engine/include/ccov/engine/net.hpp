@@ -28,11 +28,11 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "ccov/engine/serve.hpp"
+#include "ccov/util/thread_annotations.hpp"
 
 namespace ccov::engine::net {
 
@@ -156,8 +156,8 @@ class ConnectionServer {
   std::size_t max_clients_;
   int wake_rd_ = -1;
   int wake_wr_ = -1;
-  std::mutex conns_mu_;
-  std::list<Connection> conns_;
+  util::Mutex conns_mu_;
+  std::list<Connection> conns_ CCOV_GUARDED_BY(conns_mu_);
 };
 
 /// `ccov serve --listen`: a thread-per-connection TCP server in front of

@@ -13,11 +13,11 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ccov/engine/request.hpp"
+#include "ccov/util/thread_annotations.hpp"
 
 namespace ccov::engine {
 
@@ -71,8 +71,8 @@ class AlgorithmRegistry {
   static AlgorithmRegistry& global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Algorithm> algos_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Algorithm> algos_ CCOV_GUARDED_BY(mu_);
 };
 
 /// RAII helper for self-registration from any translation unit:

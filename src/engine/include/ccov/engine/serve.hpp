@@ -23,12 +23,12 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ccov/engine/engine.hpp"
 #include "ccov/engine/request.hpp"
+#include "ccov/util/thread_annotations.hpp"
 
 namespace ccov::engine {
 
@@ -158,8 +158,8 @@ class ServeVerbRegistry {
   static ServeVerbRegistry& global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, ServeVerb> verbs_;
+  mutable util::Mutex mu_;
+  std::map<std::string, ServeVerb> verbs_ CCOV_GUARDED_BY(mu_);
 };
 
 /// Register the built-in control verbs into `reg`. Idempotent per
@@ -172,6 +172,33 @@ struct ServeCommand {
   const ServeVerb* verb = nullptr;
   CoverRequest req;  ///< populated when is_request()
   bool is_request() const { return verb == nullptr; }
+};
+
+/// Line framing over a ServeStream: newline-delimited, CRLF-tolerant (a
+/// single trailing '\r' is stripped), with a hard per-line byte limit
+/// enforced *while streaming* — an oversized line is discarded as it
+/// arrives instead of being buffered without bound, and reported as
+/// kTooLong so the session can answer in-band. This is the framing layer
+/// every serve transport's input passes through; it is exposed (and
+/// fuzzed — see fuzz/) because it sits directly on untrusted bytes.
+class LineReader {
+ public:
+  /// \p max_line longest accepted line in bytes (0 = unlimited).
+  LineReader(ServeStream& io, std::size_t max_line);
+
+  enum class Result { kLine, kTooLong, kEof };
+
+  /// Produce the next line (newline stripped). A partial final line with
+  /// no trailing newline is still a line, as with std::getline; the
+  /// following call reports kEof.
+  Result next(std::string* line);
+
+ private:
+  ServeStream& io_;
+  std::size_t max_;
+  char buf_[4096];
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
 };
 
 /// Parse one JSONL line against the global verb registry. Returns false

@@ -34,6 +34,15 @@
 /// for install_signal_shutdown; on shutdown it raises the header flag,
 /// wakes both rings' futexes so a blocked peer re-checks promptly,
 /// drains the session, unmaps and shm_unlink's the segment.
+///
+/// Thread-safety discipline: this transport is deliberately lock-free —
+/// the segment header's claim slot, flags and epoch are std::atomic
+/// words in shared memory, and the rings are SPSC (see shm_ring.hpp).
+/// There is no mutex to annotate, so unlike the lock-owning classes
+/// (see util/thread_annotations.hpp) these types carry no capability
+/// annotations; the invariants are per-word atomic protocols documented
+/// at each member instead. Cross-process atomics are invisible to
+/// Clang's thread-safety analysis by design.
 
 #include <cstddef>
 #include <cstdint>

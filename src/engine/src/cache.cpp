@@ -138,7 +138,7 @@ std::optional<CoverResponse> CoverCache::lookup(const CanonicalKey& ck) {
   Shard& shard = shard_for(ck.key);
   CoverResponse resp;
   {
-    std::lock_guard lk(shard.mu);
+    util::MutexLock lk(shard.mu);
     const auto it = shard.index.find(ck.key);
     if (it == shard.index.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -200,7 +200,7 @@ void CoverCache::store(const std::string& key, CoverResponse resp) {
       next_stamp_.fetch_add(1, std::memory_order_relaxed);
   bool evicted = false;
   {
-    std::lock_guard lk(shard.mu);
+    util::MutexLock lk(shard.mu);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       it->second->resp = std::move(resp);
@@ -235,7 +235,7 @@ CoverCache::Stats CoverCache::stats() const {
 std::size_t CoverCache::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard lk(shard.mu);
+    util::MutexLock lk(shard.mu);
     total += shard.lru.size();
   }
   return total;
@@ -243,7 +243,7 @@ std::size_t CoverCache::size() const {
 
 void CoverCache::clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard lk(shard.mu);
+    util::MutexLock lk(shard.mu);
     shard.lru.clear();
     shard.index.clear();
   }
@@ -257,7 +257,7 @@ std::vector<std::pair<std::string, CoverResponse>> CoverCache::export_entries()
   std::vector<std::pair<std::string, CoverResponse>> out;
   out.reserve(size());
   for (const Shard& shard : shards_) {
-    std::lock_guard lk(shard.mu);
+    util::MutexLock lk(shard.mu);
     for (const Entry& e : shard.lru) out.emplace_back(e.key, e.resp);
   }
   std::sort(out.begin(), out.end(),

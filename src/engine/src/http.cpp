@@ -13,19 +13,9 @@ namespace ccov::engine::net {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Request head parsing
+// Request head parsing (HttpRequest/find_head_end/parse_head are declared
+// in http.hpp so tests and the fuzz harnesses reach them socket-free)
 // ---------------------------------------------------------------------------
-
-struct HttpRequest {
-  std::string method;
-  std::string target;
-  std::string version;
-  bool has_content_length = false;
-  std::uint64_t content_length = 0;
-  bool chunked = false;          ///< request used Transfer-Encoding: chunked
-  bool expect_continue = false;  ///< Expect: 100-continue
-  bool keep_alive = true;
-};
 
 std::string lower(std::string s) {
   for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -39,8 +29,8 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
-/// Locate the head terminator (CRLFCRLF per the RFC; bare LFLF is
-/// tolerated). Sets *body_start just past it.
+}  // namespace
+
 bool find_head_end(const std::string& buf, std::size_t* head_end,
                    std::size_t* body_start) {
   const std::size_t crlf = buf.find("\r\n\r\n");
@@ -135,6 +125,8 @@ bool parse_head(const std::string& head, HttpRequest* req, std::string* error) {
   }
   return true;
 }
+
+namespace {
 
 enum class HeadRead { kOk, kEof, kPartial, kTooLarge, kError };
 

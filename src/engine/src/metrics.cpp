@@ -17,7 +17,7 @@ void MetricsRegistry::check_name(const std::string& name) {
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
   check_name(name);
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     Metric m;
@@ -35,7 +35,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
   check_name(name);
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     Metric m;
@@ -54,7 +54,7 @@ void MetricsRegistry::counter_fn(const std::string& name,
                                  std::function<std::uint64_t()> fn) {
   check_name(name);
   if (!fn) throw std::invalid_argument("metrics: null callback for " + name);
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   Metric m;
   m.kind = Metric::Kind::kCounter;
   m.help = help;
@@ -67,7 +67,7 @@ void MetricsRegistry::gauge_fn(const std::string& name, const std::string& help,
                                std::function<std::int64_t()> fn) {
   check_name(name);
   if (!fn) throw std::invalid_argument("metrics: null callback for " + name);
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   Metric m;
   m.kind = Metric::Kind::kGauge;
   m.help = help;
@@ -84,7 +84,7 @@ std::int64_t MetricsRegistry::current_value(const Metric& m) {
 }
 
 std::string MetricsRegistry::render_prometheus() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   std::string out;
   for (const auto& [name, m] : metrics_) {
     out += "# HELP " + name + " " + m.help + "\n";
@@ -97,14 +97,14 @@ std::string MetricsRegistry::render_prometheus() const {
 }
 
 std::int64_t MetricsRegistry::value(const std::string& name) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   const auto it = metrics_.find(name);
   return it == metrics_.end() ? -1 : current_value(it->second);
 }
 
 std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::snapshot()
     const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   std::vector<std::pair<std::string, std::int64_t>> out;
   out.reserve(metrics_.size());
   for (const auto& [name, m] : metrics_) out.emplace_back(name, current_value(m));
@@ -112,7 +112,7 @@ std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::snapshot()
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return metrics_.size();
 }
 

@@ -379,7 +379,7 @@ void ConnectionServer::shutdown() {
 }
 
 void ConnectionServer::reap_finished(bool join_all) {
-  std::lock_guard<std::mutex> lk(conns_mu_);
+  util::MutexLock lk(conns_mu_);
   for (auto it = conns_.begin(); it != conns_.end();) {
     if (join_all || it->done.load(std::memory_order_acquire)) {
       if (it->thread.joinable()) it->thread.join();
@@ -412,7 +412,7 @@ int ConnectionServer::run(SessionFn session, SessionFn reject) {
     reap_finished(/*join_all=*/false);
     std::size_t active = 0;
     {
-      std::lock_guard<std::mutex> lk(conns_mu_);
+      util::MutexLock lk(conns_mu_);
       active = conns_.size();
     }
     if (active >= max_clients_) {
@@ -421,7 +421,7 @@ int ConnectionServer::run(SessionFn session, SessionFn reject) {
       reject(client, wake_rd_);
       continue;
     }
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    util::MutexLock lk(conns_mu_);
     conns_.emplace_back();
     Connection& conn = conns_.back();
     conn.thread = std::thread([this, client, &conn, &session] {

@@ -20,7 +20,7 @@ void AlgorithmRegistry::add(Algorithm algo) {
   if (!algo.run)
     throw std::invalid_argument("AlgorithmRegistry: algorithm '" + algo.name +
                                 "' has no run function");
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   const std::string name = algo.name;
   if (algos_.count(name))
     throw std::invalid_argument("AlgorithmRegistry: duplicate algorithm '" +
@@ -29,13 +29,13 @@ void AlgorithmRegistry::add(Algorithm algo) {
 }
 
 const Algorithm* AlgorithmRegistry::find(const std::string& name) const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   const auto it = algos_.find(name);
   return it == algos_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> AlgorithmRegistry::names() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   std::vector<std::string> out;
   out.reserve(algos_.size());
   for (const auto& [name, _] : algos_) out.push_back(name);
@@ -43,7 +43,7 @@ std::vector<std::string> AlgorithmRegistry::names() const {
 }
 
 std::size_t AlgorithmRegistry::size() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return algos_.size();
 }
 

@@ -143,19 +143,19 @@ void ServeVerbRegistry::add(ServeVerb verb) {
   if (!verb.run)
     throw std::invalid_argument("serve verb '" + verb.name +
                                 "' has no run function");
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   if (!verbs_.emplace(verb.name, std::move(verb)).second)
     throw std::invalid_argument("duplicate serve verb '" + verb.name + "'");
 }
 
 const ServeVerb* ServeVerbRegistry::find(const std::string& name) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   const auto it = verbs_.find(name);
   return it == verbs_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> ServeVerbRegistry::names() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   std::vector<std::string> out;
   out.reserve(verbs_.size());
   for (const auto& [name, verb] : verbs_) out.push_back(name);
@@ -163,7 +163,7 @@ std::vector<std::string> ServeVerbRegistry::names() const {
 }
 
 std::size_t ServeVerbRegistry::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return verbs_.size();
 }
 
@@ -388,67 +388,47 @@ std::string serve_stats_line(std::uint64_t id, const CoverCache& cache) {
   return w.take();
 }
 
-namespace {
+LineReader::LineReader(ServeStream& io, std::size_t max_line)
+    : io_(io),
+      max_(max_line ? max_line : std::numeric_limits<std::size_t>::max()) {}
 
-// ---------------------------------------------------------------------------
-// Line framing over a ServeStream: newline-delimited, CRLF-tolerant
-// (a single trailing '\r' is stripped), with a hard per-line byte limit
-// enforced *while streaming* — an oversized line is discarded as it
-// arrives instead of being buffered without bound, and reported as
-// kTooLong so the session can answer in-band.
-// ---------------------------------------------------------------------------
-
-class LineReader {
- public:
-  LineReader(ServeStream& io, std::size_t max_line)
-      : io_(io),
-        max_(max_line ? max_line : std::numeric_limits<std::size_t>::max()) {}
-
-  enum class Result { kLine, kTooLong, kEof };
-
-  Result next(std::string* line) {
-    line->clear();
-    bool too_long = false;
-    for (;;) {
-      while (pos_ < len_) {
-        const char c = buf_[pos_++];
-        if (c == '\n') {
-          if (too_long) return Result::kTooLong;
-          if (!line->empty() && line->back() == '\r') line->pop_back();
-          return Result::kLine;
-        }
-        if (!too_long) {
-          line->push_back(c);
-          if (line->size() > max_) {
-            too_long = true;
-            line->clear();
-          }
-        }
-      }
-      pos_ = len_ = 0;
-      const std::ptrdiff_t r = io_.read_some(buf_, sizeof(buf_));
-      if (r <= 0) {
-        // End of stream: a partial final line (no trailing newline) is
-        // still a line, as with std::getline; the next call sees an
-        // empty buffer and reports EOF.
+LineReader::Result LineReader::next(std::string* line) {
+  line->clear();
+  bool too_long = false;
+  for (;;) {
+    while (pos_ < len_) {
+      const char c = buf_[pos_++];
+      if (c == '\n') {
         if (too_long) return Result::kTooLong;
-        if (!line->empty()) {
-          if (line->back() == '\r') line->pop_back();
-          return Result::kLine;
-        }
-        return Result::kEof;
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return Result::kLine;
       }
-      len_ = static_cast<std::size_t>(r);
+      if (!too_long) {
+        line->push_back(c);
+        if (line->size() > max_) {
+          too_long = true;
+          line->clear();
+        }
+      }
     }
+    pos_ = len_ = 0;
+    const std::ptrdiff_t r = io_.read_some(buf_, sizeof(buf_));
+    if (r <= 0) {
+      // End of stream: a partial final line (no trailing newline) is
+      // still a line, as with std::getline; the next call sees an
+      // empty buffer and reports EOF.
+      if (too_long) return Result::kTooLong;
+      if (!line->empty()) {
+        if (line->back() == '\r') line->pop_back();
+        return Result::kLine;
+      }
+      return Result::kEof;
+    }
+    len_ = static_cast<std::size_t>(r);
   }
+}
 
- private:
-  ServeStream& io_;
-  std::size_t max_;
-  char buf_[4096];
-  std::size_t pos_ = 0;
-  std::size_t len_ = 0;
-};
+namespace {
 
 /// Wraps the session's transport to account every payload byte that
 /// crosses the ServeStream seam, so byte-level throughput is visible in

@@ -79,8 +79,16 @@ std::uint64_t get_u64(std::istream& is) {
   return v;
 }
 
+/// Longest string (cache key, algorithm name, error message) accepted
+/// from a snapshot. Real keys are tens of bytes; 16 MiB of headroom
+/// keeps a corrupt or hostile length field (up to 4 GiB as a raw u32)
+/// from sizing an allocation before a single payload byte is checked.
+constexpr std::uint32_t kMaxStringBytes = 1u << 24;
+
 std::string get_string(std::istream& is) {
   const std::uint32_t len = get_u32(is);
+  if (len > kMaxStringBytes)
+    throw std::runtime_error("snapshot: implausible string length");
   std::string s(len, '\0');
   if (len && !is.read(s.data(), static_cast<std::streamsize>(len))) truncated();
   return s;
@@ -141,7 +149,11 @@ CoverResponse get_response(std::istream& is) {
   const std::uint32_t cycles = get_u32(is);
   if (cycles > kMaxCyclesPerCover)
     throw std::runtime_error("snapshot: implausible cycle count");
-  resp.cover.cycles.reserve(cycles);
+  // A within-bounds count can still be a lie about a tiny stream, and at
+  // 16 bytes of vector header per cycle even kMaxCyclesPerCover reserves
+  // ~400 MB up front. Trust the count only up to a modest read-ahead;
+  // push_back growth covers an honest larger cover.
+  resp.cover.cycles.reserve(std::min(cycles, 1u << 12));
   for (std::uint32_t i = 0; i < cycles; ++i) {
     const std::uint32_t len = get_u32(is);
     // A cycle never has more vertices than the (already sanity-checked)

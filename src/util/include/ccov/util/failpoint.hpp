@@ -53,6 +53,15 @@ void clear_all();
 /// false on the first malformed entry; earlier entries stay armed.
 bool configure(const std::string& config, std::string* error = nullptr);
 
+/// Parse-only check of a `name=spec;name=spec` configuration string:
+/// arms nothing, touches no registry state. Returns false (and sets
+/// *error to a one-line diagnostic) on the first malformed entry.
+/// Servers call this at startup to fail fast on a mistyped
+/// CCOV_FAILPOINTS instead of silently ignoring it — the env bootstrap
+/// itself stays silent so a stale variable can never take down a
+/// production binary that does not opt into validation.
+bool validate(const std::string& config, std::string* error = nullptr);
+
 /// Times `name` fired (performed its action) since it was last set.
 std::uint64_t hits(const std::string& name);
 

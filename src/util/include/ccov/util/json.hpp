@@ -31,9 +31,17 @@ struct Value {
 };
 
 /// Parse one complete JSON document. Errors are reported by message,
-/// never by exception; trailing non-whitespace is an error.
+/// never by exception; trailing non-whitespace is an error. Nesting is
+/// bounded (kMaxDepth) so adversarial input like "[[[[..." reports an
+/// error instead of exhausting the call stack — the reader sits on
+/// untrusted protocol bytes.
 class Reader {
  public:
+  /// Deepest accepted object/array nesting. Protocol documents are 2-3
+  /// levels deep; 64 leaves generous headroom while keeping recursion
+  /// trivially within any thread's stack.
+  static constexpr int kMaxDepth = 64;
+
   explicit Reader(const std::string& text)
       : p_(text.data()), end_(p_ + text.size()) {}
 
@@ -50,6 +58,7 @@ class Reader {
 
   const char* p_;
   const char* end_;
+  int depth_ = 0;
 };
 
 /// Append `s` to `out` as a quoted JSON string: '"' and '\\' escaped,

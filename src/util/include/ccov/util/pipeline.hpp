@@ -13,8 +13,9 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "ccov/util/thread_annotations.hpp"
 
 namespace ccov::util {
 
@@ -41,20 +42,20 @@ class OrderedPipeline {
   bool drain();
 
  private:
-  std::size_t outstanding() const {
+  std::size_t outstanding() const CCOV_REQUIRES(mu_) {
     return queue_.size() + (running_ ? 1 : 0);
   }
 
   void run();
 
   const std::size_t depth_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable space_cv_;
-  std::deque<std::function<bool()>> queue_;
-  bool running_ = false;
-  bool dead_ = false;
-  bool stop_ = false;
+  Mutex mu_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any space_cv_;
+  std::deque<std::function<bool()>> queue_ CCOV_GUARDED_BY(mu_);
+  bool running_ CCOV_GUARDED_BY(mu_) = false;
+  bool dead_ CCOV_GUARDED_BY(mu_) = false;
+  bool stop_ CCOV_GUARDED_BY(mu_) = false;
   std::thread worker_;
 };
 

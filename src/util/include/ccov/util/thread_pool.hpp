@@ -15,11 +15,12 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "ccov/util/thread_annotations.hpp"
 
 namespace ccov::util {
 
@@ -48,10 +49,10 @@ class TaskGroup {
  private:
   friend class ThreadPool;
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t pending = 0;
-    std::exception_ptr first_error;
+    Mutex mu;
+    std::condition_variable_any cv;
+    std::size_t pending CCOV_GUARDED_BY(mu) = 0;
+    std::exception_ptr first_error CCOV_GUARDED_BY(mu);
   };
   std::shared_ptr<State> state_;
 };
@@ -94,12 +95,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<Item> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  std::queue<Item> queue_ CCOV_GUARDED_BY(mu_);
+  std::condition_variable_any cv_task_;
+  std::condition_variable_any cv_idle_;
+  std::size_t in_flight_ CCOV_GUARDED_BY(mu_) = 0;
+  bool stop_ CCOV_GUARDED_BY(mu_) = false;
   TaskGroup default_group_;
 };
 

@@ -3,13 +3,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
+
+#include "ccov/util/thread_annotations.hpp"
 
 namespace ccov::util::failpoint {
 
 namespace {
+
+using util::Mutex;
+using util::MutexLock;
 
 enum class Mode { kOff, kError, kDelay, kCrash };
 
@@ -22,12 +26,40 @@ struct Point {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, Point> points;
+  Mutex mu;
+  std::unordered_map<std::string, Point> points CCOV_GUARDED_BY(mu);
   /// Lock-free fast-path guard: should_fail touches the mutex only
   /// while at least one point is armed.
   std::atomic<int> armed{0};
 };
+
+bool parse_spec(const std::string& spec, Point* out, std::string* error);
+
+/// Split `name=spec;name=spec` and hand each parsed (name, Point) pair
+/// to `apply`. Shared by configure (arms each entry), validate (no-op
+/// apply) and the env bootstrap, so the three can never drift on
+/// syntax. Returns false on the first malformed entry.
+template <typename Apply>
+bool parse_config(const std::string& config, std::string* error,
+                  Apply&& apply) {
+  std::size_t pos = 0;
+  while (pos <= config.size()) {
+    std::size_t semi = config.find(';', pos);
+    if (semi == std::string::npos) semi = config.size();
+    const std::string entry = config.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error) *error = "failpoint: bad entry '" + entry + "'";
+      return false;
+    }
+    Point p;
+    if (!parse_spec(entry.substr(eq + 1), &p, error)) return false;
+    apply(entry.substr(0, eq), p);
+  }
+  return true;
+}
 
 bool configure_locked(Registry& reg, const std::string& config,
                       std::string* error);
@@ -88,7 +120,8 @@ bool parse_spec(const std::string& spec, Point* out, std::string* error) {
   return true;
 }
 
-void set_locked(Registry& reg, const std::string& name, const Point& p) {
+void set_locked(Registry& reg, const std::string& name, const Point& p)
+    CCOV_REQUIRES(reg.mu) {
   auto it = reg.points.find(name);
   const bool was_armed =
       it != reg.points.end() && it->second.mode != Mode::kOff;
@@ -107,24 +140,11 @@ void set_locked(Registry& reg, const std::string& name, const Point& p) {
 
 bool configure_locked(Registry& reg, const std::string& config,
                       std::string* error) {
-  std::size_t pos = 0;
-  while (pos <= config.size()) {
-    std::size_t semi = config.find(';', pos);
-    if (semi == std::string::npos) semi = config.size();
-    const std::string entry = config.substr(pos, semi - pos);
-    pos = semi + 1;
-    if (entry.empty()) continue;
-    const std::size_t eq = entry.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      if (error) *error = "failpoint: bad entry '" + entry + "'";
-      return false;
-    }
-    Point p;
-    if (!parse_spec(entry.substr(eq + 1), &p, error)) return false;
-    std::lock_guard<std::mutex> lock(reg.mu);
-    set_locked(reg, entry.substr(0, eq), p);
-  }
-  return true;
+  return parse_config(config, error,
+                      [&reg](const std::string& name, const Point& p) {
+                        MutexLock lock(reg.mu);
+                        set_locked(reg, name, p);
+                      });
 }
 
 }  // namespace
@@ -142,21 +162,21 @@ bool set(const std::string& name, const std::string& spec,
   Point p;
   if (!parse_spec(spec, &p, error)) return false;
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   set_locked(reg, name, p);
   return true;
 }
 
 void clear(const std::string& name) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   set_locked(reg, name, Point{});
   reg.points.erase(name);
 }
 
 void clear_all() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (auto& [name, p] : reg.points) {
     if (p.mode != Mode::kOff) reg.armed.fetch_sub(1, std::memory_order_relaxed);
     p = Point{};
@@ -168,16 +188,20 @@ bool configure(const std::string& config, std::string* error) {
   return configure_locked(registry(), config, error);
 }
 
+bool validate(const std::string& config, std::string* error) {
+  return parse_config(config, error, [](const std::string&, const Point&) {});
+}
+
 std::uint64_t hits(const std::string& name) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   auto it = reg.points.find(name);
   return it == reg.points.end() ? 0 : it->second.hits;
 }
 
 std::vector<std::string> names() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   std::vector<std::string> out;
   for (const auto& [name, p] : reg.points)
     if (p.mode != Mode::kOff && p.remaining != 0) out.push_back(name);
@@ -190,7 +214,7 @@ bool should_fail(const char* name) {
   Mode mode;
   int delay_ms;
   {
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     auto it = reg.points.find(name);
     if (it == reg.points.end()) return false;
     Point& p = it->second;

@@ -44,9 +44,18 @@ bool Reader::value(Value* out, std::string* error) {
   }
   switch (*p_) {
     case '{':
-      return object(out, error);
-    case '[':
-      return array(out, error);
+    case '[': {
+      if (depth_ >= kMaxDepth) {
+        *error = "nesting deeper than " + std::to_string(kMaxDepth) +
+                 " levels";
+        return false;
+      }
+      ++depth_;
+      const bool ok =
+          *p_ == '{' ? object(out, error) : array(out, error);
+      --depth_;
+      return ok;
+    }
     case '"':
       out->type = Value::Type::kString;
       return string(&out->string, error);

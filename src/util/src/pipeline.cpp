@@ -12,7 +12,7 @@ OrderedPipeline::OrderedPipeline(std::size_t depth)
 
 OrderedPipeline::~OrderedPipeline() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -25,8 +25,8 @@ bool OrderedPipeline::enqueue(std::function<bool()> job) {
   // never "failed" — ordering guarantees would be meaningless if jobs
   // could vanish — so an error spec is deliberately ignored.
   (void)CCOV_FAILPOINT("pipeline_submit");
-  std::unique_lock<std::mutex> lk(mu_);
-  space_cv_.wait(lk, [&] { return dead_ || outstanding() < depth_; });
+  MutexLock lk(mu_);
+  while (!dead_ && outstanding() >= depth_) space_cv_.wait(mu_);
   if (dead_) return false;
   queue_.push_back(std::move(job));
   work_cv_.notify_all();
@@ -34,31 +34,39 @@ bool OrderedPipeline::enqueue(std::function<bool()> job) {
 }
 
 bool OrderedPipeline::drain() {
-  std::unique_lock<std::mutex> lk(mu_);
-  space_cv_.wait(lk, [&] { return dead_ || (queue_.empty() && !running_); });
+  MutexLock lk(mu_);
+  while (!dead_ && (!queue_.empty() || running_)) space_cv_.wait(mu_);
   return !dead_;
 }
 
 void OrderedPipeline::run() {
-  std::unique_lock<std::mutex> lk(mu_);
+  // Two scoped critical sections per iteration instead of one lock
+  // juggled with unlock()/lock() around the job: the thread-safety
+  // analysis can prove each section, and the job provably runs
+  // unlocked. Lock hand-off points are identical to the old code.
   for (;;) {
-    work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // stop_ with nothing left to do
-    std::function<bool()> job = std::move(queue_.front());
-    queue_.pop_front();
-    running_ = true;
-    lk.unlock();
+    std::function<bool()> job;
+    {
+      MutexLock lk(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.wait(mu_);
+      if (queue_.empty()) return;  // stop_ with nothing left to do
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      running_ = true;
+    }
     bool ok = false;
     try {
       ok = job();
     } catch (...) {
       ok = false;
     }
-    lk.lock();
-    running_ = false;
-    if (!ok) {
-      dead_ = true;
-      queue_.clear();
+    {
+      MutexLock lk(mu_);
+      running_ = false;
+      if (!ok) {
+        dead_ = true;
+        queue_.clear();
+      }
     }
     space_cv_.notify_all();
   }

@@ -6,17 +6,19 @@
 namespace ccov::util {
 
 void TaskGroup::wait() {
-  std::unique_lock lk(state_->mu);
-  state_->cv.wait(lk, [this] { return state_->pending == 0; });
-  if (state_->first_error) {
-    std::exception_ptr err = std::exchange(state_->first_error, nullptr);
-    lk.unlock();
-    std::rethrow_exception(err);
+  State& s = *state_;
+  std::exception_ptr err;
+  {
+    MutexLock lk(s.mu);
+    while (s.pending != 0) s.cv.wait(s.mu);
+    err = std::exchange(s.first_error, nullptr);
   }
+  // Rethrow outside the lock: the handler may submit follow-up work.
+  if (err) std::rethrow_exception(err);
 }
 
 std::size_t TaskGroup::pending() const {
-  std::lock_guard lk(state_->mu);
+  MutexLock lk(state_->mu);
   return state_->pending;
 }
 
@@ -30,7 +32,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -48,11 +50,11 @@ void ThreadPool::submit(TaskGroup& group, std::function<void()> task) {
 void ThreadPool::enqueue(std::shared_ptr<TaskGroup::State> group,
                          std::function<void()> task) {
   {
-    std::lock_guard lk(group->mu);
+    MutexLock lk(group->mu);
     ++group->pending;
   }
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     queue_.push(Item{std::move(task), std::move(group)});
     ++in_flight_;
   }
@@ -61,26 +63,26 @@ void ThreadPool::enqueue(std::shared_ptr<TaskGroup::State> group,
 
 void ThreadPool::wait_idle() {
   {
-    std::unique_lock lk(mu_);
-    cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+    MutexLock lk(mu_);
+    while (in_flight_ != 0) cv_idle_.wait(mu_);
   }
   // Rethrow (and clear) only the default group's error: an explicit
   // TaskGroup's failure belongs to the batch that submitted it.
   auto& state = *default_group_.state_;
-  std::unique_lock lk(state.mu);
-  if (state.first_error) {
-    std::exception_ptr err = std::exchange(state.first_error, nullptr);
-    lk.unlock();
-    std::rethrow_exception(err);
+  std::exception_ptr err;
+  {
+    MutexLock lk(state.mu);
+    err = std::exchange(state.first_error, nullptr);
   }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     Item item;
     {
-      std::unique_lock lk(mu_);
-      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lk(mu_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(mu_);
       if (queue_.empty()) return;  // stop_ must be set
       item = std::move(queue_.front());
       queue_.pop();
@@ -92,12 +94,12 @@ void ThreadPool::worker_loop() {
       err = std::current_exception();
     }
     {
-      std::lock_guard lk(item.group->mu);
+      MutexLock lk(item.group->mu);
       if (err && !item.group->first_error) item.group->first_error = err;
       if (--item.group->pending == 0) item.group->cv.notify_all();
     }
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

@@ -143,6 +143,35 @@ TEST(FailPoint, ConfigureParsesTheEnvSyntax) {
   EXPECT_TRUE(fp::names().empty());
 }
 
+TEST(FailPoint, ValidateAcceptsWellFormedConfigsWithoutArming) {
+  ClearAllGuard guard;
+  std::string err;
+  EXPECT_TRUE(fp::validate("a=error;b=delay:1*3;;c=off;d=crash*2", &err))
+      << err;
+  // Parse-only: nothing was armed, nothing fires.
+  EXPECT_TRUE(fp::names().empty());
+  EXPECT_FALSE(fp::should_fail("a"));
+}
+
+TEST(FailPoint, ValidateRejectsUnknownActions) {
+  std::string err;
+  EXPECT_FALSE(fp::validate("net_read=explode", &err));
+  EXPECT_NE(err.find("unknown spec"), std::string::npos) << err;
+  EXPECT_TRUE(fp::names().empty());  // the valid prefix is NOT armed either
+}
+
+TEST(FailPoint, ValidateRejectsBadCounts) {
+  std::string err;
+  EXPECT_FALSE(fp::validate("a=error*x", &err));
+  EXPECT_NE(err.find("bad count"), std::string::npos) << err;
+  err.clear();
+  EXPECT_FALSE(fp::validate("a=error;b=delay:5*-1", &err));
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  EXPECT_FALSE(fp::validate("noequals", &err));
+  EXPECT_NE(err.find("bad entry"), std::string::npos) << err;
+}
+
 TEST(FailPointDeathTest, CrashModeAbortsOnce) {
   testing::FLAGS_gtest_death_test_style = "threadsafe";
   ClearAllGuard guard;

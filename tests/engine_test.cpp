@@ -768,6 +768,28 @@ TEST(Snapshot, RejectsCorruptStreams) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(Snapshot, RejectsImplausibleStringLengths) {
+  // Fuzzer-found (fuzz_snapshot, pinned as
+  // tests/fuzz_corpus/snapshot/crash-huge-string): a 24-byte stream
+  // declaring a 4 GiB key sized a 4 GiB std::string before a single
+  // payload byte was read. The loader must reject the length up front
+  // with a clean runtime_error — never attempt the allocation.
+  std::string bytes;
+  bytes += std::string(eng::kSnapshotMagic, sizeof eng::kSnapshotMagic);
+  auto put_u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      bytes += static_cast<char>((v >> (8 * i)) & 0xff);
+  };
+  put_u32(eng::kSnapshotVersion);
+  put_u32(1);  // entry count (u64, little-endian: low word then
+  put_u32(0);  // high word)
+  put_u32(0xFFFFFFFFu);  // key length: 4 GiB on a 24-byte stream
+  eng::CoverCache cache(4);
+  std::istringstream is(bytes);
+  EXPECT_THROW(eng::load_snapshot(is, cache), std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 namespace {
 
 /// RAII guard arming one failpoint for the scope of a test block.

@@ -81,6 +81,25 @@ TEST(Json, RejectsTheDocumentedErrorCases) {
   parse_err("1 2");
 }
 
+TEST(Json, BoundsNestingDepth) {
+  // Exactly at the limit parses...
+  std::string at_limit(json::Reader::kMaxDepth, '[');
+  at_limit += "1";
+  at_limit.append(json::Reader::kMaxDepth, ']');
+  EXPECT_EQ(parse_ok(at_limit).type, json::Value::Type::kArray);
+  // ...one deeper is a clean error, never a stack overflow. The fuzz
+  // corpus pins the original crasher (100k of '[') in
+  // tests/fuzz_corpus/json/crash-deep-nesting.
+  const std::string error =
+      parse_err(std::string(json::Reader::kMaxDepth + 1, '[') + "1");
+  EXPECT_NE(error.find("nesting"), std::string::npos) << error;
+  parse_err(std::string(100000, '['));
+  // Mixed object/array nesting counts against the same budget.
+  std::string mixed;
+  for (int i = 0; i < json::Reader::kMaxDepth; ++i) mixed += R"({"k":[)";
+  parse_err(mixed);
+}
+
 TEST(Json, RejectsNonIntegerNumbers) {
   const std::string error = parse_err("1.5");
   EXPECT_NE(error.find("non-integer"), std::string::npos) << error;

@@ -24,6 +24,7 @@
 // the usage on stderr and exit nonzero.
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -44,6 +45,7 @@
 #include "ccov/engine/store.hpp"
 #include "ccov/protection/simulator.hpp"
 #include "ccov/util/cli.hpp"
+#include "ccov/util/failpoint.hpp"
 #include "ccov/util/shm_ring.hpp"
 #include "ccov/util/table.hpp"
 #include "ccov/wdm/network.hpp"
@@ -390,6 +392,18 @@ ccov::engine::ServeConfig parse_serve_config(const ccov::util::Cli& cli) {
 }
 
 int cmd_serve(const ccov::util::Cli& cli) {
+  // Fail fast on a malformed CCOV_FAILPOINTS before any socket binds:
+  // the registry's own env bootstrap stays deliberately silent (a stale
+  // variable must never break a production binary), but an operator who
+  // mistypes a spec while standing up a *server* wants one line and a
+  // nonzero exit, not silently-disarmed fault injection.
+  if (const char* fp_env = std::getenv("CCOV_FAILPOINTS")) {
+    std::string fp_err;
+    if (!ccov::util::failpoint::validate(fp_env, &fp_err)) {
+      std::cerr << "serve: invalid CCOV_FAILPOINTS: " << fp_err << "\n";
+      return 2;
+    }
+  }
   ccov::engine::ServeConfig config = parse_serve_config(cli);
   const bool listen = !cli.get("listen", "").empty();
   const bool http = !cli.get("http", "").empty();
